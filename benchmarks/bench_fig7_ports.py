@@ -1,0 +1,14 @@
+"""R-F7 (extension): memory-port width ablation for a single node."""
+
+from repro.harness.experiments import fig7_ports
+
+
+def test_fig7_ports(run_and_print):
+    table = run_and_print(fig7_ports, n=256)
+    cols = list(table.columns)
+    # committed finding: a single node is execute-bound, so throughput is
+    # flat in port width (within 2%) and the EP is busy ~all cycles
+    for kernel in ("daxpy", "hydro", "state_eqn"):
+        series = table.column(kernel)
+        assert max(series) <= min(series) * 1.02, kernel
+    assert min(table.column("ep_busy_daxpy")) > 0.9

@@ -1,0 +1,26 @@
+"""Shared plumbing for the benchmark tree.
+
+Each ``bench_*`` module regenerates one reconstructed table/figure (see
+DESIGN.md §3).  The pytest-benchmark fixture times the *experiment run*
+(simulation throughput of the harness); the scientific output is the table
+itself, which every benchmark prints so that
+``pytest benchmarks/ --benchmark-only -s`` reproduces the evaluation.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def run_and_print(benchmark, capsys):
+    """Run an experiment once under the benchmark clock, print its table."""
+
+    def _run(fn, *args, **kwargs):
+        table = benchmark.pedantic(
+            fn, args=args, kwargs=kwargs, rounds=1, iterations=1
+        )
+        with capsys.disabled():
+            print()
+            print(table.to_text())
+        return table
+
+    return _run

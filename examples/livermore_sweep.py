@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""Latency-tolerance sweep over the whole workload suite.
+
+Reproduces the shape of the central DAE claim at the command line: as
+memory gets slower relative to the processors, the decoupled machine's
+advantage over the blocking-load baseline *grows* — streaming kernels ride
+their queues, while the loss-of-decoupling kernel (computed_gather) is
+pinned near the baseline.
+
+Run:  python examples/livermore_sweep.py [n]
+"""
+
+import sys
+
+from repro import MemoryConfig, QueueConfig, SMAConfig, ScalarConfig
+from repro import all_kernels, compare_spec
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 256
+    latencies = (2, 8, 32)
+    names = [s.name for s in all_kernels()]
+    width = max(len(name) for name in names)
+    header = f"{'kernel':<{width}} " + " ".join(
+        f"lat={lat:>2}" for lat in latencies
+    )
+    print(f"speedup (scalar cycles / SMA cycles), n={n}")
+    print(header)
+    print("-" * len(header))
+    for spec in all_kernels():
+        row = [f"{spec.name:<{width}}"]
+        for latency in latencies:
+            mem = MemoryConfig(latency=latency,
+                               bank_busy=max(1, latency // 2))
+            result = compare_spec(
+                spec, n,
+                sma_config=SMAConfig(memory=mem, queues=QueueConfig()),
+                scalar_config=ScalarConfig(memory=mem),
+            )
+            row.append(f"{result.speedup:6.2f}")
+        print(" ".join(row))
+    print("\n(the computed_gather row is the loss-of-decoupling pattern —")
+    print(" its addresses come from the execute processor, so decoupling")
+    print(" collapses and the speedup stays flat)")
+
+
+if __name__ == "__main__":
+    main()

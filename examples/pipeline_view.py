@@ -1,0 +1,43 @@
+#!/usr/bin/env python3
+"""Watch decoupling happen, cycle by cycle.
+
+Runs the tridiag recurrence kernel with a :class:`TimelineRecorder`
+attached and prints the first stretch of the execution timeline.  Things
+to look for in the output:
+
+* the access processor retires its entire program (a handful of stream
+  descriptors) in the first few cycles, then shows ``#`` forever;
+* the engine column keeps issuing one memory request per cycle long after
+  the AP has halted — the descriptors run autonomously;
+* the execute processor stalls ``~lq_empty`` for exactly one memory
+  latency, then settles into its steady loop.
+
+Run:  python examples/pipeline_view.py
+"""
+
+from repro import lower_sma, get_kernel
+from repro.core import SMAMachine
+from repro.trace import TimelineRecorder
+
+
+def main() -> None:
+    spec = get_kernel("tridiag")
+    kernel, inputs = spec.instantiate(24)
+    lowered = lower_sma(kernel)
+    machine = SMAMachine(lowered.access_program, lowered.execute_program)
+    for decl in kernel.arrays:
+        machine.load_array(lowered.layout.base(decl.name), inputs[decl.name])
+
+    recorder = TimelineRecorder()
+    result = machine.run(observer=recorder)
+
+    print(f"kernel {spec.name}: {result.cycles} cycles total\n")
+    print(recorder.render(0, 40))
+    print("\n... (tail omitted)")
+    print(f"\nAP retired {result.ap.instructions} instructions; "
+          f"EP retired {result.ep.instructions}; the stream engine issued "
+          f"{result.engine.requests_issued} memory requests on their behalf.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Program the SMA machine directly in assembly — including the one
+pattern the kernel compiler never emits: an execute-resolved loop
+(convergence test through the branch queue, EBQ).
+
+The access program streams a vector through the execute processor
+repeatedly; after each sweep the EP compares the running sum against a
+threshold and pushes the verdict into EBQ, where the AP's ``bqnz`` decides
+whether to issue another sweep.  Every ``bqnz`` wait is a genuine
+loss-of-decoupling event — watch the ``lod_ebq`` stall count.
+
+Run:  python examples/raw_assembly.py
+"""
+
+import numpy as np
+
+from repro import SMAMachine, assemble, disassemble
+
+N = 64
+BASE = 100
+THRESHOLD = 40.0
+
+ACCESS = f"""
+    ; one sweep per iteration, until the EP says the sum crossed the
+    ; threshold (values arrive via the branch queue)
+    ;
+    ; in-place update across sweeps: sweep k+1's load stream starts while
+    ; the tail of sweep k's store stream (at most queue-depth elements,
+    ; all near the end of the vector) is still draining.  That is safe
+    ; here because the loads restart from element 0 and cannot reach the
+    ; pending tail before it commits (N >> queue depth); hand-written
+    ; access programs own this kind of reasoning — the kernel compiler
+    ; proves it for you.
+sweep:
+    streamld lq0, #{BASE}, #1, #{N}     ; stream the vector in
+    streamst sdq0, #{BASE}, #1, #{N}    ; store the scaled copy back
+    bqnz done                           ; EP verdict: converged?
+    jmp sweep
+done:
+    halt
+"""
+
+EXECUTE = f"""
+    mov x5, #0.0              ; running sum across sweeps
+sweep:
+    mov x1, #{N}
+elem:
+    mul x2, lq0, #1.1         ; scale each element by 1.1
+    add x5, x5, x2
+    mov sdq0, x2
+    decbnz x1, elem
+    cmplt ebq, #{THRESHOLD}, x5   ; 1 -> converged, AP exits
+    cmplt x3, #{THRESHOLD}, x5
+    beqz x3, sweep
+    halt
+"""
+
+
+def main() -> None:
+    ap = assemble(ACCESS, "sweeper.access")
+    ep = assemble(EXECUTE, "sweeper.execute")
+    print("access program:")
+    print(disassemble(ap))
+    machine = SMAMachine(ap, ep)
+    machine.load_array(BASE, np.full(N, 0.01))
+    result = machine.run()
+    print(result.summary())
+    final = machine.dump_array(BASE, N)
+    print(f"\nfinal element value: {final[0]:.6f}")
+    print(f"loss-of-decoupling stalls on the branch queue: "
+          f"{result.ap.stall_cycles.get('lod_ebq', 0)} cycles over "
+          f"{result.lod_events} events")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""The 1983 argument in one script: decoupling vs vector hardware.
+
+Runs a mix of kernels on three machines — the scalar baseline, a
+CRAY-flavoured vector machine (perfect chaining, classic vectorizer), and
+the SMA — and prints where each wins. The vector machine tops the loops
+its vectorizer accepts; everywhere it must reject (recurrences, gathers,
+scatters, data-dependent subscripts) it falls back to scalar speed, while
+the SMA keeps its full decoupled performance. The SMA is the machine
+without the cliff.
+
+Run:  python examples/vector_vs_sma.py [n]
+"""
+
+import sys
+
+from repro.harness.runner import run_on_scalar, run_on_sma, run_on_vector
+from repro.kernels import get_kernel
+from repro.kernels.lower_vector import VectorizationError
+
+KERNELS = (
+    "daxpy", "hydro", "inner_product", "stencil2d",      # vectorizable
+    "tridiag", "first_sum",                              # recurrences
+    "pic_gather", "pic_scatter", "computed_gather",      # irregular
+)
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 256
+    print(f"{'kernel':16s} {'scalar':>8s} {'vector':>10s} {'SMA':>8s}   verdict")
+    print("-" * 62)
+    for name in KERNELS:
+        spec = get_kernel(name)
+        kernel, inputs = spec.instantiate(n)
+        scalar = run_on_scalar(kernel, inputs).cycles
+        sma = run_on_sma(kernel, inputs).cycles
+        try:
+            vector = run_on_vector(kernel, inputs).cycles
+            vtext = f"{vector:10d}"
+            verdict = ("vector wins" if vector < sma
+                       else "SMA wins even here")
+        except VectorizationError as exc:
+            vector = scalar  # conventional fallback: the scalar unit
+            reason = str(exc).split(": ", 1)[-1]
+            vtext = f"{'rejected':>10s}"
+            verdict = f"SMA {vector / sma:.1f}x faster ({reason[:28]})"
+        print(f"{name:16s} {scalar:8d} {vtext} {sma:8d}   {verdict}")
+    print("\nthe vectorizer's rejections are exactly the loops the paper's")
+    print("decoupled access/execute design was built to keep fast")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Regenerate tests/golden_cycles.json.
+
+The simulator is fully deterministic, so exact cycle counts at the
+reference configuration act as a regression guard on the *timing models*
+(a change to queue arbitration, bank accounting, or codegen that shifts
+any kernel's cycle count will fail ``tests/test_golden_cycles.py``).
+
+Run after an intentional timing-model change and review the diff:
+
+    python scripts/update_golden.py
+    git diff tests/golden_cycles.json   # every change should be explicable
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from repro.harness.runner import run_on_scalar, run_on_sma, run_on_vector
+from repro.kernels import all_kernels
+from repro.kernels.lower_vector import VectorizationError
+
+N = 96
+SEED = 12345
+
+
+def main() -> int:
+    golden: dict[str, dict[str, int]] = {}
+    for spec in all_kernels():
+        kernel, inputs = spec.instantiate(N, seed=SEED)
+        entry = {
+            "scalar": run_on_scalar(kernel, inputs).cycles,
+            "sma": run_on_sma(kernel, inputs).cycles,
+            "sma_nostream": run_on_sma(
+                kernel, inputs, use_streams=False
+            ).cycles,
+        }
+        try:
+            entry["vector"] = run_on_vector(kernel, inputs).cycles
+        except VectorizationError:
+            entry["vector"] = None
+        golden[spec.name] = entry
+    path = pathlib.Path(__file__).parent.parent / "tests" / "golden_cycles.json"
+    path.write_text(json.dumps(
+        {"n": N, "seed": SEED, "cycles": golden}, indent=2, sort_keys=True
+    ) + "\n")
+    print(f"wrote {path} ({len(golden)} kernels)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,6 @@
+"""Baseline machines the SMA is compared against."""
+
+from .scalar_machine import ScalarMachine, ScalarResult
+from .vector_machine import VectorMachine, VectorResult
+
+__all__ = ["ScalarMachine", "ScalarResult", "VectorMachine", "VectorResult"]

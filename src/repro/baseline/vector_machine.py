@@ -1,0 +1,261 @@
+"""Vector-machine baseline (CRAY-1-flavoured, with perfect chaining).
+
+The DAE literature's second comparator: a register-vector machine.  Where
+the scalar baseline shows what blocking loads cost, the vector baseline
+shows what the *competition of the era* could do — and therefore where the
+SMA's real selling point lies: vector-class throughput on loops a
+vectorizer must reject (recurrences, computed subscripts), see experiment
+R-T6.
+
+## Programming model
+
+The machine executes a flat list of strip-mined vector operations
+(:class:`VectorOp` subclasses) produced by
+:func:`repro.kernels.lower_vector.lower_vector`.  There is no textual ISA:
+address computation is folded into the ops at compile time (bases are
+concrete), which is charitable to the baseline — its scalar bookkeeping
+is free.
+
+* 8 vector registers of up to ``max_vl`` (64) elements;
+* ``vload``/``vstore`` with arbitrary stride;
+* element-wise ALU ops and a reduction op;
+* strips execute under **perfect chaining**: one strip of dependent ops
+  costs the *sum of startups* plus ``VL`` divided by the slowest
+  element rate in the chain (memory rate follows the same
+  stride-vs-banks law as the banked memory model:
+  ``min(1, banks / (gcd(stride, banks) · bank_busy))``).
+
+Functional note: reductions are *computed* in sequential element order so
+results stay bit-identical to the reference interpreter (a real machine's
+tree reduction would reassociate); their *timing* uses the vector model.
+This keeps the repository's word-exact differential testing intact.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence, Union
+
+import numpy as np
+
+from ..config import MemoryConfig
+from ..errors import SimulationError
+from ..isa.opcodes import ALU_FUNCS, Op
+from ..memory import MainMemory
+
+#: number of architectural vector registers
+NUM_VREGS = 8
+
+
+# -- the vector operation set (a tiny typed IR) ----------------------------
+
+
+@dataclass(frozen=True)
+class VLoad:
+    vreg: int
+    base: int
+    stride: int
+    length: int
+
+
+@dataclass(frozen=True)
+class VStore:
+    vreg: int
+    base: int
+    stride: int
+    length: int
+
+
+@dataclass(frozen=True)
+class VArith:
+    """Element-wise ALU op; sources are vector registers or float scalars."""
+
+    op: Op
+    dest: int
+    srcs: tuple[Union[int, float], ...]  # int = vreg index, float = scalar
+
+    def __post_init__(self) -> None:
+        if self.op not in ALU_FUNCS:
+            raise SimulationError(f"{self.op} is not an ALU op")
+
+
+@dataclass(frozen=True)
+class VReduce:
+    """Fold a vector register into the running scalar accumulator."""
+
+    op: Op  # ADD / MIN / MAX
+    acc: int  # accumulator id (compiler-assigned)
+    vreg: int
+
+
+@dataclass(frozen=True)
+class SetAcc:
+    acc: int
+    value: float
+
+
+@dataclass(frozen=True)
+class StoreAcc:
+    acc: int
+    address: int
+
+
+#: a strip: ops that chain together (one loop body at one strip offset)
+@dataclass(frozen=True)
+class Strip:
+    ops: tuple[Union[VLoad, VStore, VArith, VReduce], ...]
+    length: int
+
+
+VectorOp = Union[Strip, SetAcc, StoreAcc]
+
+
+@dataclass
+class VectorResult:
+    cycles: int
+    strips: int
+    vector_ops: int
+    element_operations: int
+    memory_reads: int = 0
+    memory_writes: int = 0
+
+    def to_dict(self) -> dict:
+        """JSON-serializable flat summary (for harness consumers)."""
+        return {
+            "cycles": self.cycles,
+            "strips": self.strips,
+            "vector_ops": self.vector_ops,
+            "element_operations": self.element_operations,
+            "memory_reads": self.memory_reads,
+            "memory_writes": self.memory_writes,
+        }
+
+    def summary(self) -> str:
+        return (
+            f"cycles {self.cycles}, strips {self.strips}, "
+            f"vector ops {self.vector_ops}, "
+            f"element operations {self.element_operations}"
+        )
+
+
+class VectorMachine:
+    """Executes a strip-mined vector program over the shared flat store."""
+
+    #: cycles of startup per vector instruction (issue + pipeline fill)
+    STARTUP = 4
+    #: extra fold latency charged to a reduction op
+    REDUCE_TAIL = 8
+
+    def __init__(
+        self,
+        program: Sequence[VectorOp],
+        memory_config: MemoryConfig | None = None,
+        max_vl: int = 64,
+    ):
+        self.program = list(program)
+        self.memory_config = memory_config or MemoryConfig()
+        self.max_vl = max_vl
+        self.memory = MainMemory(self.memory_config.size)
+        self.vregs: list[np.ndarray | None] = [None] * NUM_VREGS
+        self.accs: dict[int, float] = {}
+        self.cycle = 0
+        self._stats = VectorResult(0, 0, 0, 0)
+
+    # -- workload I/O ---------------------------------------------------
+
+    def load_array(self, base: int, values) -> None:
+        self.memory.load_array(base, values)
+
+    def dump_array(self, base: int, count: int):
+        return self.memory.dump_array(base, count)
+
+    # -- timing helpers ----------------------------------------------------
+
+    def _memory_rate(self, stride: int) -> float:
+        """Sustained elements/cycle for a strided memory stream."""
+        cfg = self.memory_config
+        effective = abs(stride) if stride else 1
+        collapse = math.gcd(effective, cfg.num_banks)
+        return min(
+            float(cfg.accepts_per_cycle),
+            cfg.num_banks / (collapse * cfg.bank_busy),
+            1.0,
+        )
+
+    # -- execution ---------------------------------------------------------
+
+    def _vector(self, index: int) -> np.ndarray:
+        value = self.vregs[index]
+        if value is None:
+            raise SimulationError(f"v{index} read before written")
+        return value
+
+    def _run_strip(self, strip: Strip) -> None:
+        if strip.length < 1 or strip.length > self.max_vl:
+            raise SimulationError(
+                f"strip length {strip.length} outside [1, {self.max_vl}]"
+            )
+        self._stats.strips += 1
+        startup_total = 0
+        slowest_rate = 1.0
+        for op in strip.ops:
+            self._stats.vector_ops += 1
+            self._stats.element_operations += strip.length
+            startup_total += self.STARTUP
+            if isinstance(op, VLoad):
+                addrs = op.base + op.stride * np.arange(op.length)
+                self.vregs[op.vreg] = np.array(
+                    [self.memory.read(int(a)) for a in addrs]
+                )
+                slowest_rate = min(slowest_rate, self._memory_rate(op.stride))
+                startup_total += self.memory_config.latency
+                self._stats.memory_reads += op.length
+            elif isinstance(op, VStore):
+                values = self._vector(op.vreg)
+                addrs = op.base + op.stride * np.arange(op.length)
+                for a, v in zip(addrs, values):
+                    self.memory.write(int(a), float(v))
+                slowest_rate = min(slowest_rate, self._memory_rate(op.stride))
+                self._stats.memory_writes += op.length
+            elif isinstance(op, VArith):
+                args = [
+                    self._vector(s) if isinstance(s, int)
+                    else np.full(strip.length, s)
+                    for s in op.srcs
+                ]
+                fn = ALU_FUNCS[op.op]
+                self.vregs[op.dest] = np.array([
+                    fn(*(float(a[k]) for a in args))
+                    for k in range(strip.length)
+                ])
+            elif isinstance(op, VReduce):
+                values = self._vector(op.vreg)
+                fn = ALU_FUNCS[op.op]
+                acc = self.accs[op.acc]
+                for v in values:  # sequential order: bit-exact vs reference
+                    acc = fn(acc, float(v))
+                self.accs[op.acc] = acc
+                startup_total += self.REDUCE_TAIL
+            else:  # pragma: no cover - exhaustive
+                raise SimulationError(f"unknown strip op {op!r}")
+        self.cycle += startup_total + math.ceil(
+            strip.length / slowest_rate
+        )
+
+    def run(self) -> VectorResult:
+        """Execute the whole program; returns timing statistics."""
+        for op in self.program:
+            if isinstance(op, Strip):
+                self._run_strip(op)
+            elif isinstance(op, SetAcc):
+                self.accs[op.acc] = op.value
+                self.cycle += 1
+            elif isinstance(op, StoreAcc):
+                self.memory.write(op.address, self.accs[op.acc])
+                self.cycle += 1
+                self._stats.memory_writes += 1
+            else:  # pragma: no cover
+                raise SimulationError(f"unknown vector op {op!r}")
+        self._stats.cycles = self.cycle
+        return self._stats

@@ -1,0 +1,277 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``kernels``
+    List the workload suite with categories and descriptions.
+
+``run KERNEL``
+    Run one suite kernel on both machines (verified against the
+    reference) and print the comparison.
+
+``compile KERNEL``
+    Print the lowered scalar / access / execute programs for a kernel.
+
+``experiment ID [ID ...]``
+    Run reconstructed experiments by identifier (``R-T1`` .. ``R-F8``,
+    ``all``); figure experiments can add ``--plot`` for an ASCII chart,
+    and ``--csv`` emits machine-readable output.
+
+``timeline KERNEL``
+    Per-cycle pipeline view of a kernel on the SMA (the decoupling made
+    visible; see ``repro.trace.timeline``).
+
+``verify KERNEL``
+    Check a kernel's per-address write sequences on each machine against
+    sequential semantics (the strongest correctness check; see
+    ``repro.verify``).
+
+``parse FILE``
+    Parse a kernel-source file (see ``repro.kernels.lang``), run it on
+    both machines with random data, and verify against the reference.
+
+Examples::
+
+    python -m repro kernels
+    python -m repro run hydro --n 512 --latency 16
+    python -m repro compile tridiag
+    python -m repro experiment R-F1 --plot
+    python -m repro timeline tridiag --n 32 --last 60
+    python -m repro parse mykernel.k --n 128
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from .config import MemoryConfig, QueueConfig, ScalarConfig, SMAConfig
+from .harness import EXPERIMENTS, compare_spec, run_experiment
+from .harness.plot import render_plot
+from .kernels import (
+    all_kernels,
+    get_kernel,
+    lower_scalar,
+    lower_sma,
+    parse_kernel,
+    run_reference,
+)
+
+
+def _configs(latency: int):
+    mem = MemoryConfig(latency=latency, bank_busy=max(1, latency // 2))
+    return (
+        SMAConfig(memory=mem, queues=QueueConfig()),
+        ScalarConfig(memory=mem),
+    )
+
+
+def cmd_kernels(_args) -> int:
+    width = max(len(s.name) for s in all_kernels())
+    for spec in all_kernels():
+        print(f"{spec.name:<{width}}  [{spec.category:<10}] "
+              f"{spec.description}")
+    return 0
+
+
+def cmd_run(args) -> int:
+    spec = get_kernel(args.kernel)
+    sma_cfg, scalar_cfg = _configs(args.latency)
+    result = compare_spec(
+        spec, args.n, sma_config=sma_cfg, scalar_config=scalar_cfg
+    )
+    print(f"kernel   {spec.name} (n={result.n}, latency={args.latency})")
+    print(f"scalar   {result.scalar.cycles} cycles")
+    print(f"SMA      {result.sma.cycles} cycles")
+    print(f"speedup  {result.speedup:.2f}x")
+    print("\nSMA detail:")
+    print(result.sma.result.summary())
+    print("\n(both runs verified word-exact against the reference)")
+    return 0
+
+
+def cmd_compile(args) -> int:
+    spec = get_kernel(args.kernel)
+    kernel, _ = spec.instantiate(args.n)
+    print(kernel.pretty())
+    scalar = lower_scalar(kernel)
+    sma = lower_sma(kernel)
+    print("\n--- scalar program ---")
+    print(scalar.program.listing())
+    print("\n--- SMA access program ---")
+    print(sma.access_program.listing())
+    print("\n--- SMA execute program ---")
+    print(sma.execute_program.listing())
+    return 0
+
+
+def cmd_experiment(args) -> int:
+    ids = list(EXPERIMENTS) if "all" in args.ids else args.ids
+    for experiment_id in ids:
+        if experiment_id not in EXPERIMENTS:
+            print(f"unknown experiment {experiment_id!r}; "
+                  f"known: {sorted(EXPERIMENTS)} or 'all'", file=sys.stderr)
+            return 2
+        table = run_experiment(experiment_id)
+        if args.csv:
+            print(table.to_csv(), end="")
+        else:
+            print(table.to_text())
+        if args.plot and experiment_id.startswith("R-F"):
+            try:
+                print()
+                print(render_plot(table))
+            except ValueError as exc:
+                print(f"  (no plot: {exc})")
+        print()
+    return 0
+
+
+def cmd_timeline(args) -> int:
+    from .core import SMAMachine
+    from .harness.runner import _fit_memory, _load_inputs
+    from .trace import TimelineRecorder
+    from dataclasses import replace as _replace
+
+    spec = get_kernel(args.kernel)
+    kernel, inputs = spec.instantiate(args.n)
+    lowered = lower_sma(kernel)
+    sma_cfg, _ = _configs(args.latency)
+    cfg = _replace(sma_cfg, memory=_fit_memory(sma_cfg.memory,
+                                               lowered.layout))
+    machine = SMAMachine(lowered.access_program, lowered.execute_program,
+                         cfg)
+    _load_inputs(machine, lowered.layout, kernel, inputs)
+    recorder = TimelineRecorder()
+    result = machine.run(observer=recorder)
+    print(f"{spec.name}: {result.cycles} cycles "
+          f"(showing {args.first}..{args.last})\n")
+    print(recorder.render(args.first, args.last))
+    return 0
+
+
+def cmd_verify(args) -> int:
+    from .verify import verify_kernel_writes
+
+    spec = get_kernel(args.kernel)
+    kernel, inputs = spec.instantiate(args.n)
+    machines = (
+        [args.machine] if args.machine != "all"
+        else ["sma", "sma-nostream", "scalar"]
+    )
+    failed = False
+    for machine in machines:
+        mismatches = verify_kernel_writes(kernel, inputs, machine)
+        if mismatches:
+            failed = True
+            print(f"{machine}: {len(mismatches)} write-sequence "
+                  "mismatch(es) against sequential semantics:")
+            for mismatch in mismatches[:10]:
+                print(f"  {mismatch}")
+        else:
+            print(f"{machine}: per-address write sequences match "
+                  "sequential semantics")
+    return 1 if failed else 0
+
+
+def cmd_parse(args) -> int:
+    source = open(args.file).read()
+    kernel = parse_kernel(source, **{args.param: args.n})
+    print(kernel.pretty())
+    rng = np.random.default_rng(args.seed)
+    inputs = {
+        decl.name: rng.uniform(0.1, 1.0, decl.size)
+        for decl in kernel.arrays
+    }
+    golden = run_reference(kernel, inputs)
+    from .harness.runner import run_on_scalar, run_on_sma
+
+    sma = run_on_sma(kernel, inputs)
+    scalar = run_on_scalar(kernel, inputs)
+    for name, want in golden.items():
+        for run in (sma, scalar):
+            if not np.array_equal(run.outputs[name], want):
+                print(f"MISMATCH: {run.machine} array {name}",
+                      file=sys.stderr)
+                return 1
+    print(f"\nverified on both machines; scalar {scalar.cycles} cycles, "
+          f"SMA {sma.cycles} cycles ({scalar.cycles / sma.cycles:.2f}x)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Structured Memory Access architecture reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("kernels", help="list the workload suite")
+
+    p_run = sub.add_parser("run", help="run one kernel on both machines")
+    p_run.add_argument("kernel")
+    p_run.add_argument("--n", type=int, default=256)
+    p_run.add_argument("--latency", type=int, default=8)
+
+    p_compile = sub.add_parser("compile", help="show lowered programs")
+    p_compile.add_argument("kernel")
+    p_compile.add_argument("--n", type=int, default=16)
+
+    p_exp = sub.add_parser("experiment", help="run experiments by id")
+    p_exp.add_argument("ids", nargs="+",
+                       help="R-T1..R-T6, R-F1..R-F8, or 'all'")
+    p_exp.add_argument("--plot", action="store_true",
+                       help="ASCII chart for figure experiments")
+    p_exp.add_argument("--csv", action="store_true",
+                       help="emit CSV instead of the aligned table")
+
+    p_timeline = sub.add_parser(
+        "timeline", help="per-cycle pipeline view of a kernel on the SMA"
+    )
+    p_timeline.add_argument("kernel")
+    p_timeline.add_argument("--n", type=int, default=32)
+    p_timeline.add_argument("--latency", type=int, default=8)
+    p_timeline.add_argument("--first", type=int, default=0)
+    p_timeline.add_argument("--last", type=int, default=40)
+
+    p_verify = sub.add_parser(
+        "verify",
+        help="check a kernel's per-address write sequences against "
+             "sequential semantics",
+    )
+    p_verify.add_argument("kernel")
+    p_verify.add_argument("--n", type=int, default=64)
+    p_verify.add_argument("--machine", default="all",
+                          choices=["all", "sma", "sma-nostream", "scalar"])
+
+    p_parse = sub.add_parser("parse", help="parse and run a kernel source file")
+    p_parse.add_argument("file")
+    p_parse.add_argument("--n", type=int, default=64)
+    p_parse.add_argument("--param", default="n",
+                         help="name the --n value binds (default 'n')")
+    p_parse.add_argument("--seed", type=int, default=12345)
+
+    return parser
+
+
+_COMMANDS = {
+    "kernels": cmd_kernels,
+    "run": cmd_run,
+    "compile": cmd_compile,
+    "experiment": cmd_experiment,
+    "timeline": cmd_timeline,
+    "verify": cmd_verify,
+    "parse": cmd_parse,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

@@ -1,0 +1,171 @@
+"""Machine configuration dataclasses.
+
+All timing parameters of the simulated machines live here so that the
+experiment harness can sweep them.  The defaults model a plausible early-80s
+memory system relative to a single-cycle processor:
+
+* main memory access latency of 8 processor cycles,
+* 8-way low-order interleaving with a bank busy time of 4 cycles
+  (so unit-stride streams sustain one word per cycle, while stride-8
+  streams collapse onto one bank and sustain one word per 4 cycles),
+* architectural queues of 8 entries,
+* up to 4 concurrently active structured-access descriptors.
+
+Use :func:`dataclasses.replace` to derive swept variants, e.g.::
+
+    cfg = replace(default_sma_config(), memory=replace(mem, latency=32))
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+
+@dataclass(frozen=True)
+class MemoryConfig:
+    """Parameters of the banked, pipelined main memory.
+
+    Attributes
+    ----------
+    size:
+        Number of 64-bit words of addressable storage.
+    num_banks:
+        Degree of low-order interleaving.  Bank of address ``a`` is
+        ``a % num_banks``.
+    latency:
+        Cycles from request acceptance to data availability (loads) or
+        commit (stores).
+    bank_busy:
+        Cycles a bank stays busy after accepting a request; a second
+        request to the same bank within this window is a *bank conflict*
+        and is rejected (the requester retries).
+    accepts_per_cycle:
+        Upper bound on requests the memory port accepts per cycle,
+        independent of banking.
+    """
+
+    size: int = 1 << 16
+    num_banks: int = 8
+    latency: int = 8
+    bank_busy: int = 4
+    accepts_per_cycle: int = 1
+
+    def __post_init__(self) -> None:
+        if self.size <= 0 or self.num_banks <= 0:
+            raise ValueError("size and num_banks must be positive")
+        if self.latency < 1 or self.bank_busy < 1:
+            raise ValueError("latency and bank_busy must be >= 1")
+        if self.accepts_per_cycle < 1:
+            raise ValueError("accepts_per_cycle must be >= 1")
+
+
+@dataclass(frozen=True)
+class QueueConfig:
+    """Depths of the architectural FIFO queues coupling AP, EP and memory."""
+
+    load_queue_depth: int = 8     # memory -> EP operand queues (LQ0..)
+    store_data_depth: int = 8     # EP -> memory store-data queues (SDQ0..)
+    store_addr_depth: int = 8     # AP -> memory store-address queue (SAQ)
+    index_queue_depth: int = 8    # memory -> AP internal index queues (IQ0..)
+    ep_to_ap_data_depth: int = 4  # EP -> AP data queue (EAQ)
+    ep_to_ap_branch_depth: int = 4  # EP -> AP branch queue (EBQ)
+
+    def __post_init__(self) -> None:
+        for name in (
+            "load_queue_depth",
+            "store_data_depth",
+            "store_addr_depth",
+            "index_queue_depth",
+            "ep_to_ap_data_depth",
+            "ep_to_ap_branch_depth",
+        ):
+            if getattr(self, name) < 1:
+                raise ValueError(f"{name} must be >= 1")
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Parameters of the baseline machine's set-associative data cache.
+
+    The cache is a timing model layered over the flat backing store:
+    write-back, write-allocate, LRU replacement.
+    """
+
+    size_words: int = 256
+    line_words: int = 4
+    associativity: int = 2
+    hit_time: int = 1
+    #: cycles to move one word of a line between memory and cache after the
+    #: initial access latency has elapsed.
+    transfer_cycles: int = 1
+
+    def __post_init__(self) -> None:
+        if self.line_words <= 0 or self.size_words <= 0:
+            raise ValueError("cache sizes must be positive")
+        if self.size_words % (self.line_words * self.associativity):
+            raise ValueError(
+                "size_words must be a multiple of line_words * associativity"
+            )
+        if self.hit_time < 1 or self.transfer_cycles < 0:
+            raise ValueError("bad cache timing parameters")
+
+    @property
+    def num_sets(self) -> int:
+        return self.size_words // (self.line_words * self.associativity)
+
+
+@dataclass(frozen=True)
+class SMAConfig:
+    """Full configuration of the decoupled SMA machine."""
+
+    memory: MemoryConfig = field(default_factory=MemoryConfig)
+    queues: QueueConfig = field(default_factory=QueueConfig)
+    #: number of structured-access descriptors that may be in flight.  The
+    #: hardware analogue is one descriptor register per architectural queue,
+    #: so the default matches the default queue complement (8 LQ + 4 SDQ +
+    #: 4 IQ); a program that needs more concurrent streams than this
+    #: deadlocks rather than degrades, so the compiler's stream count is
+    #: validated against the queue counts instead.
+    max_streams: int = 16
+    #: stream-engine issue bandwidth (requests per cycle across descriptors).
+    stream_issue_per_cycle: int = 1
+    #: number of architectural load queues (LQ0..LQn-1) visible to the EP.
+    num_load_queues: int = 8
+    #: number of store-data queues (SDQ0..) and index queues (IQ0..).
+    num_store_queues: int = 4
+    num_index_queues: int = 4
+
+    def __post_init__(self) -> None:
+        if self.max_streams < 1 or self.stream_issue_per_cycle < 1:
+            raise ValueError("stream engine parameters must be >= 1")
+        if min(self.num_load_queues, self.num_store_queues,
+               self.num_index_queues) < 1:
+            raise ValueError("queue counts must be >= 1")
+
+
+@dataclass(frozen=True)
+class ScalarConfig:
+    """Configuration of the baseline in-order von Neumann machine."""
+
+    memory: MemoryConfig = field(default_factory=MemoryConfig)
+    #: optional data cache; ``None`` means loads go straight to banked memory.
+    cache: CacheConfig | None = None
+    #: optional hardware prefetcher layered on the cache (experiment R-T5);
+    #: an instance of :class:`repro.memory.prefetch.PrefetchConfig`.
+    #: Requires ``cache`` to be set.
+    prefetch: object | None = None
+
+    def __post_init__(self) -> None:
+        if self.prefetch is not None and self.cache is None:
+            raise ValueError("prefetch requires a cache configuration")
+
+
+def default_sma_config(**overrides) -> SMAConfig:
+    """Return the reference SMA configuration, with keyword overrides
+    applied to the top level (e.g. ``default_sma_config(max_streams=8)``)."""
+    return replace(SMAConfig(), **overrides) if overrides else SMAConfig()
+
+
+def default_scalar_config(**overrides) -> ScalarConfig:
+    """Return the reference scalar-baseline configuration."""
+    return replace(ScalarConfig(), **overrides) if overrides else ScalarConfig()

@@ -1,0 +1,30 @@
+"""The SMA machine core: processors, stream engine, store unit, coupling."""
+
+from .access_processor import AccessProcessor, APStats
+from .cluster import ClusterResult, SMACluster
+from .descriptors import (
+    StreamDescriptor,
+    StreamEngine,
+    StreamEngineStats,
+    StreamKind,
+)
+from .execute_processor import EPStats, ExecuteProcessor
+from .machine import SMAMachine, SMAResult
+from .store_unit import StoreUnit, StoreUnitStats
+
+__all__ = [
+    "APStats",
+    "ClusterResult",
+    "SMACluster",
+    "AccessProcessor",
+    "EPStats",
+    "ExecuteProcessor",
+    "SMAMachine",
+    "SMAResult",
+    "StoreUnit",
+    "StoreUnitStats",
+    "StreamDescriptor",
+    "StreamEngine",
+    "StreamEngineStats",
+    "StreamKind",
+]

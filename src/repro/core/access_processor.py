@@ -1,0 +1,280 @@
+"""The Access Processor (AP).
+
+The AP executes the *access program*: integer/address arithmetic, loop
+control for memory traversal, and the structured memory instructions.  It
+is a single-issue, in-order machine — one instruction per cycle unless a
+resource stalls it, in which case the same instruction retries next cycle
+and the stall cycle is attributed to a cause:
+
+=================  =========================================================
+``stream_slots``   ``streamld``/``streamst``/``gather``/``scatter`` found no
+                   free descriptor slot in the stream engine
+``queue_full``     ``ldq`` could not reserve its destination queue slot
+``memory_busy``    ``ldq`` was rejected by the banked memory (conflict/port)
+``saq_full``       ``staddr`` found the store-address queue full
+``lod_eaq``        waiting on a value the EP must compute (data-dependent
+                   address) — a **loss-of-decoupling** event
+``lod_ebq``        waiting on an EP-resolved branch outcome — also LOD
+``iq_empty``       ``fromq`` on an index queue whose head has not returned
+=================  =========================================================
+
+The distinction between the two ``lod_*`` causes and the rest is what the
+loss-of-decoupling experiment (R-T4) measures: ordinary stalls mean the
+memory or queues are saturated (decoupling is *working*); LOD stalls mean
+the AP has been dragged back to the EP's speed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import SimulationError
+from ..isa import ACCESS_OPS, ALU_FUNCS, ALU_OPS, Imm, Op, Program, Queue, Reg
+from ..isa.operands import NUM_REGS, QueueSpace
+from ..memory.banks import BankedMemory
+from ..memory.main_memory import as_address
+from ..queues import QueueFile
+from .descriptors import StreamDescriptor, StreamEngine, StreamKind
+
+
+@dataclass
+class APStats:
+    instructions: int = 0
+    stall_cycles: dict[str, int] = field(default_factory=dict)
+    #: number of distinct LOD episodes (entries into a lod_* stall).
+    lod_events: int = 0
+
+    def total_stalls(self) -> int:
+        return sum(self.stall_cycles.values())
+
+    def lod_stall_cycles(self) -> int:
+        return sum(
+            v for k, v in self.stall_cycles.items() if k.startswith("lod_")
+        )
+
+
+class AccessProcessor:
+    """In-order interpreter of the access instruction stream."""
+
+    def __init__(
+        self,
+        program: Program,
+        queues: QueueFile,
+        memory: BankedMemory,
+        engine: StreamEngine,
+    ):
+        self.program = program
+        self.queues = queues
+        self.memory = memory
+        self.engine = engine
+        self.registers: list[float] = [0] * NUM_REGS
+        self.pc = 0
+        self.halted = False
+        self.stats = APStats()
+        self._stalled_on: str | None = None
+        for instr in program:
+            if instr.op not in ACCESS_OPS:
+                raise SimulationError(
+                    f"{instr.op.value} is not a valid access-processor op"
+                )
+
+    # ------------------------------------------------------------------
+
+    def _stall(self, cause: str) -> None:
+        st = self.stats.stall_cycles
+        st[cause] = st.get(cause, 0) + 1
+        if cause.startswith("lod_") and self._stalled_on != cause:
+            self.stats.lod_events += 1
+        self._stalled_on = cause
+
+    def _read(self, operand) -> float:
+        if isinstance(operand, Reg):
+            return self.registers[operand.index]
+        if isinstance(operand, Imm):
+            return operand.value
+        raise SimulationError(
+            f"AP operand {operand} must be a register or immediate here"
+        )
+
+    def step(self, now: int) -> None:
+        """Attempt to execute one instruction this cycle."""
+        if self.halted:
+            return
+        if self.pc >= len(self.program):
+            raise SimulationError(
+                f"AP ran off the end of program {self.program.name!r}"
+            )
+        instr = self.program[self.pc]
+        op = instr.op
+        if op in ALU_OPS:
+            self._alu(instr)
+        elif op is Op.HALT:
+            self.halted = True
+            self._retire()
+            return
+        elif op is Op.NOP:
+            pass
+        elif op is Op.JMP:
+            self._retire(instr.branch_target())
+            return
+        elif op in (Op.BEQZ, Op.BNEZ):
+            value = self._read(instr.srcs[0])
+            taken = (value == 0) == (op is Op.BEQZ)
+            self._retire(instr.branch_target() if taken else None)
+            return
+        elif op is Op.DECBNZ:
+            assert isinstance(instr.dest, Reg)
+            self.registers[instr.dest.index] -= 1
+            taken = self.registers[instr.dest.index] != 0
+            self._retire(instr.branch_target() if taken else None)
+            return
+        elif op in (Op.STREAMLD, Op.GATHER, Op.STREAMST, Op.SCATTER):
+            if not self._start_stream(instr):
+                return
+        elif op is Op.LDQ:
+            if not self._ldq(instr, now):
+                return
+        elif op is Op.STADDR:
+            if not self._staddr(instr):
+                return
+        elif op is Op.FROMQ:
+            if not self._fromq(instr):
+                return
+        elif op in (Op.BQNZ, Op.BQEZ):
+            ebq = self.queues.ep_to_ap_branch
+            if not ebq.head_ready():
+                ebq.note_empty_stall()
+                self._stall("lod_ebq")
+                return
+            value = ebq.pop()
+            taken = (value != 0) == (op is Op.BQNZ)
+            self._retire(instr.branch_target() if taken else None)
+            return
+        else:  # pragma: no cover - exhaustive over ACCESS_OPS
+            raise SimulationError(f"unhandled AP op {op}")
+        self._retire()
+
+    def _retire(self, new_pc: int | None = None) -> None:
+        self.stats.instructions += 1
+        self._stalled_on = None
+        self.pc = new_pc if new_pc is not None else self.pc + 1
+
+    # -- op implementations ---------------------------------------------
+
+    def _alu(self, instr) -> None:
+        args = [self._read(s) for s in instr.srcs]
+        result = ALU_FUNCS[instr.op](*args)
+        assert isinstance(instr.dest, Reg), "AP ALU dest must be a register"
+        self.registers[instr.dest.index] = result
+
+    def _start_stream(self, instr) -> bool:
+        if not self.engine.has_free_slot():
+            self._stall("stream_slots")
+            return False
+        produced, consumed = self.engine.queue_roles_in_use()
+        # dest is the produced queue (loads/gathers); queue sources are
+        # consumed (store data, gather/scatter indices)
+        if isinstance(instr.dest, Queue):
+            if self.queues.resolve(instr.dest) in produced:
+                self._stall("stream_queue_busy")
+                return False
+        for s in instr.srcs:
+            if isinstance(s, Queue) and self.queues.resolve(s) in consumed:
+                self._stall("stream_queue_busy")
+                return False
+        op = instr.op
+        if op is Op.STREAMLD:
+            dest = instr.dest
+            assert isinstance(dest, Queue)
+            desc = StreamDescriptor(
+                StreamKind.LOAD,
+                base=as_address(self._read(instr.srcs[0])),
+                stride=as_address(self._read(instr.srcs[1])),
+                count=as_address(self._read(instr.srcs[2])),
+                target=self.queues.resolve(dest),
+            )
+        elif op is Op.GATHER:
+            dest = instr.dest
+            index_q = instr.srcs[0]
+            assert isinstance(dest, Queue) and isinstance(index_q, Queue)
+            desc = StreamDescriptor(
+                StreamKind.GATHER,
+                base=as_address(self._read(instr.srcs[1])),
+                count=as_address(self._read(instr.srcs[2])),
+                target=self.queues.resolve(dest),
+                index_queue=self.queues.resolve(index_q),
+            )
+        elif op is Op.STREAMST:
+            data_q = instr.srcs[0]
+            assert isinstance(data_q, Queue)
+            desc = StreamDescriptor(
+                StreamKind.STORE,
+                base=as_address(self._read(instr.srcs[1])),
+                stride=as_address(self._read(instr.srcs[2])),
+                count=as_address(self._read(instr.srcs[3])),
+                data_queue=self.queues.resolve(data_q),
+            )
+        else:  # SCATTER
+            data_q, index_q = instr.srcs[0], instr.srcs[1]
+            assert isinstance(data_q, Queue) and isinstance(index_q, Queue)
+            desc = StreamDescriptor(
+                StreamKind.SCATTER,
+                base=as_address(self._read(instr.srcs[2])),
+                count=as_address(self._read(instr.srcs[3])),
+                data_queue=self.queues.resolve(data_q),
+                index_queue=self.queues.resolve(index_q),
+            )
+        self.engine.start(desc)
+        return True
+
+    def _ldq(self, instr, now: int) -> bool:
+        dest = instr.dest
+        assert isinstance(dest, Queue)
+        target = self.queues.resolve(dest)
+        addr = as_address(
+            self._read(instr.srcs[0]) + self._read(instr.srcs[1])
+        )
+        if not target.can_reserve():
+            target.note_full_stall()
+            self._stall("queue_full")
+            return False
+        if not self.memory.can_accept(addr, now):
+            self._stall("memory_busy")
+            return False
+        token = target.reserve()
+        accepted = self.memory.try_issue(
+            addr, now, on_complete=lambda v, t=token, q=target: q.fill(t, v)
+        )
+        assert accepted
+        return True
+
+    def _staddr(self, instr) -> bool:
+        data_q = instr.srcs[0]
+        assert isinstance(data_q, Queue) and data_q.space is QueueSpace.SDQ
+        saq = self.queues.store_addr
+        if not saq.can_reserve():
+            saq.note_full_stall()
+            self._stall("saq_full")
+            return False
+        addr = as_address(
+            self._read(instr.srcs[1]) + self._read(instr.srcs[2])
+        )
+        saq.push((addr, data_q.index))
+        return True
+
+    def _fromq(self, instr) -> bool:
+        src = instr.srcs[0]
+        assert isinstance(src, Queue)
+        queue = self.queues.resolve(src)
+        if not queue.head_ready():
+            queue.note_empty_stall()
+            if src.space is QueueSpace.EAQ:
+                self._stall("lod_eaq")
+            elif src.space is QueueSpace.EBQ:
+                self._stall("lod_ebq")
+            else:
+                self._stall("iq_empty")
+            return False
+        assert isinstance(instr.dest, Reg)
+        self.registers[instr.dest.index] = queue.pop()
+        return True

@@ -1,0 +1,136 @@
+"""SMA multiprocessor cluster (future-work extension).
+
+A natural growth path for a decoupled node is replication: several SMA
+processor pairs sharing one banked main memory.  Each node keeps its own
+queues, stream engine and store unit — the *only* shared resource is the
+memory, so the interesting question the cluster answers is **how much of a
+node's standalone performance survives memory interference**, as a
+function of the interleaving degree and the nodes' access patterns.
+
+The cluster owns the memory tick: every simulated cycle it delivers
+completions once, then steps each node (round-robin order rotates each
+cycle so no node gets a standing priority at the memory port).  Nodes run
+disjoint address ranges — the runner lays each kernel out in its own
+region — so no coherence protocol is needed; the contention being studied
+is bandwidth, not sharing.
+
+Used by experiment R-F8 (`bench_fig8_multiprocessor.py`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..config import SMAConfig
+from ..errors import SimulationError
+from ..isa import Program
+from ..memory import BankedMemory, MainMemory
+from .machine import SMAMachine, SMAResult
+
+
+@dataclass
+class ClusterResult:
+    """Per-node results plus shared-memory contention statistics."""
+
+    cycles: int
+    nodes: list[SMAResult]
+    bank_conflicts: int
+    port_rejects: int
+    memory_utilization: float
+
+    def summary(self) -> str:
+        lines = [f"cluster cycles      {self.cycles}"]
+        for i, node in enumerate(self.nodes):
+            lines.append(
+                f"node {i}: {node.cycles} cycles, "
+                f"{node.memory_reads + node.memory_writes} memory ops"
+            )
+        lines.append(f"bank conflicts      {self.bank_conflicts}")
+        lines.append(f"memory utilization  {self.memory_utilization:.3f}")
+        return "\n".join(lines)
+
+
+class SMACluster:
+    """N SMA nodes contending for one banked memory."""
+
+    def __init__(
+        self,
+        programs: list[tuple[Program, Program]],
+        config: SMAConfig | None = None,
+    ):
+        if not programs:
+            raise ValueError("cluster needs at least one node")
+        self.config = config or SMAConfig()
+        self.memory = MainMemory(self.config.memory.size)
+        self.banked = BankedMemory(self.memory, self.config.memory)
+        node_config = replace(self.config)
+        self.nodes = [
+            SMAMachine(ap, ep, node_config, shared_memory=self.banked)
+            for ap, ep in programs
+        ]
+        self.cycle = 0
+        #: cycle each node finished at (None while running)
+        self.finish_cycles: list[int | None] = [None] * len(self.nodes)
+
+    def load_array(self, base: int, values) -> None:
+        """Stage workload data into the shared memory."""
+        self.memory.load_array(base, values)
+
+    def dump_array(self, base: int, count: int):
+        return self.memory.dump_array(base, count)
+
+    def done(self) -> bool:
+        return all(n.done() for n in self.nodes) and self.banked.quiescent()
+
+    def run(
+        self,
+        max_cycles: int = 10_000_000,
+        deadlock_window: int = 10_000,
+    ) -> ClusterResult:
+        """Run every node to completion under shared-memory contention."""
+        last_state: tuple = ()
+        last_progress = 0
+        while not self.done():
+            if self.cycle >= max_cycles:
+                raise SimulationError(f"exceeded cycle budget {max_cycles}")
+            self.banked.tick(self.cycle)
+            # rotate service order so the memory port is shared fairly
+            order = list(range(len(self.nodes)))
+            rotation = self.cycle % len(self.nodes)
+            order = order[rotation:] + order[:rotation]
+            for index in order:
+                node = self.nodes[index]
+                if not node.done():
+                    node.cycle = self.cycle
+                    node.step_cycle(tick_memory=False)
+                elif self.finish_cycles[index] is None:
+                    self.finish_cycles[index] = self.cycle
+            state = tuple(
+                part for node in self.nodes for part in node.progress_state()
+            ) + (self.banked.stats.reads + self.banked.stats.writes,)
+            if state != last_state:
+                last_state = state
+                last_progress = self.cycle
+            elif self.cycle - last_progress > deadlock_window:
+                reports = "; ".join(
+                    f"node{i}: {n.deadlock_report()}"
+                    for i, n in enumerate(self.nodes)
+                )
+                raise SimulationError(
+                    f"cluster deadlock at cycle {self.cycle}: {reports}"
+                )
+            self.cycle += 1
+        for index, node in enumerate(self.nodes):
+            if self.finish_cycles[index] is None:
+                self.finish_cycles[index] = self.cycle
+        mstats = self.banked.stats
+        cycles = max(self.cycle, 1)
+        return ClusterResult(
+            cycles=self.cycle,
+            nodes=[n.collect_result() for n in self.nodes],
+            bank_conflicts=mstats.bank_conflicts,
+            port_rejects=mstats.port_rejects,
+            memory_utilization=mstats.utilization(
+                cycles, self.config.memory.num_banks
+            ),
+        )

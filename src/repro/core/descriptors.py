@@ -1,0 +1,218 @@
+"""Structured-access descriptors and the stream engine.
+
+This is the architectural heart of the SMA proposal: instead of computing
+and issuing every operand address itself, the access processor hands the
+memory system a *descriptor* of a whole structured access — ``(base,
+stride, count)`` for dense streams, or an index-queue-driven pattern for
+gather/scatter — with a single instruction.  The **stream engine** then
+autonomously walks the descriptor, issuing one memory request per cycle
+(subject to queue space, bank conflicts and port bandwidth) while the AP
+continues executing.  This is what lets a one-instruction loop body sustain
+one operand per cycle from an 8-cycle-latency memory.
+
+Four descriptor kinds:
+
+``LOAD``     for i in count: pop M[base + i*stride] into the target queue
+``STORE``    for i in count: M[base + i*stride] = pop(data queue)
+``GATHER``   for i in count: M[base + pop(index queue)] into target queue
+``SCATTER``  for i in count: M[base + pop(index queue)] = pop(data queue)
+
+Loads reserve their destination-queue slot at issue so values arrive in
+stream order regardless of bank timing (see
+:mod:`repro.queues.operand_queue`).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..errors import SimulationError
+from ..memory.banks import BankedMemory
+from ..memory.main_memory import as_address
+from ..queues import OperandQueue
+
+
+class StreamKind(enum.Enum):
+    LOAD = "load"
+    STORE = "store"
+    GATHER = "gather"
+    SCATTER = "scatter"
+
+
+@dataclass
+class StreamDescriptor:
+    """One in-flight structured access."""
+
+    kind: StreamKind
+    base: int
+    count: int
+    stride: int = 1
+    #: destination queue for LOAD / GATHER values.
+    target: OperandQueue | None = None
+    #: source of store data for STORE / SCATTER.
+    data_queue: OperandQueue | None = None
+    #: source of indices for GATHER / SCATTER.
+    index_queue: OperandQueue | None = None
+    issued: int = 0
+
+    def __post_init__(self) -> None:
+        if self.count < 0:
+            raise SimulationError(f"negative stream count {self.count}")
+        if self.kind in (StreamKind.LOAD, StreamKind.GATHER):
+            if self.target is None:
+                raise SimulationError(f"{self.kind.value} stream needs a target queue")
+        if self.kind in (StreamKind.STORE, StreamKind.SCATTER):
+            if self.data_queue is None:
+                raise SimulationError(f"{self.kind.value} stream needs a data queue")
+        if self.kind in (StreamKind.GATHER, StreamKind.SCATTER):
+            if self.index_queue is None:
+                raise SimulationError(f"{self.kind.value} stream needs an index queue")
+
+    @property
+    def done(self) -> bool:
+        return self.issued >= self.count
+
+    def next_address(self) -> int | None:
+        """Address of the next request, or None if it needs an index that
+        has not arrived yet."""
+        if self.kind in (StreamKind.LOAD, StreamKind.STORE):
+            return self.base + self.issued * self.stride
+        assert self.index_queue is not None
+        if not self.index_queue.head_ready():
+            return None
+        return self.base + as_address(self.index_queue.peek())
+
+
+@dataclass
+class StreamEngineStats:
+    streams_started: int = 0
+    requests_issued: int = 0
+    #: cycles in which at least one descriptor was live but nothing issued.
+    blocked_cycles: int = 0
+    max_live_streams: int = 0
+
+
+class StreamEngine:
+    """Round-robin issue across up to ``max_streams`` live descriptors."""
+
+    def __init__(
+        self,
+        memory: BankedMemory,
+        max_streams: int,
+        issue_per_cycle: int = 1,
+    ):
+        self.memory = memory
+        self.max_streams = max_streams
+        self.issue_per_cycle = issue_per_cycle
+        self._streams: list[StreamDescriptor] = []
+        self._rr = 0
+        self.stats = StreamEngineStats()
+
+    def has_free_slot(self) -> bool:
+        return len(self._streams) < self.max_streams
+
+    def start(self, descriptor: StreamDescriptor) -> None:
+        """Activate a descriptor (AP calls this when executing a stream
+        instruction); requires a free slot."""
+        if not self.has_free_slot():
+            raise SimulationError("stream engine slots exhausted")
+        if descriptor.count > 0:
+            self._streams.append(descriptor)
+            self.stats.streams_started += 1
+            self.stats.max_live_streams = max(
+                self.stats.max_live_streams, len(self._streams)
+            )
+
+    def idle(self) -> bool:
+        return not self._streams
+
+    def queue_roles_in_use(self) -> tuple[set[OperandQueue], set[OperandQueue]]:
+        """``(produced, consumed)`` queues across live descriptors.
+
+        Two live streams must never *produce into* the same queue (their
+        values would interleave and FIFO order would no longer equal
+        program order) nor *consume from* the same queue.  A
+        producer/consumer pair on one queue is legal — that is exactly how
+        gathers chain (``streamld`` produces indices into an IQ that the
+        ``gather`` descriptor consumes).  The access processor checks these
+        sets, role-matched, before starting a stream.
+        """
+        produced: set[OperandQueue] = set()
+        consumed: set[OperandQueue] = set()
+        for d in self._streams:
+            if d.target is not None:
+                produced.add(d.target)
+            if d.data_queue is not None:
+                consumed.add(d.data_queue)
+            if d.index_queue is not None:
+                consumed.add(d.index_queue)
+        return produced, consumed
+
+    @property
+    def live_streams(self) -> int:
+        return len(self._streams)
+
+    def tick(self, now: int) -> int:
+        """Issue up to ``issue_per_cycle`` requests; returns issue count."""
+        if not self._streams:
+            return 0
+        issued = 0
+        attempts = 0
+        n = len(self._streams)
+        # Round-robin over descriptors: each gets one attempt per cycle.
+        while issued < self.issue_per_cycle and attempts < n:
+            desc = self._streams[self._rr % len(self._streams)]
+            if self._try_issue(desc, now):
+                issued += 1
+                if desc.done:
+                    self._streams.remove(desc)
+                    if not self._streams:
+                        break
+                    continue  # keep rr pointing at the next stream
+            self._rr = (self._rr + 1) % max(len(self._streams), 1)
+            attempts += 1
+        if issued == 0:
+            self.stats.blocked_cycles += 1
+        else:
+            self.stats.requests_issued += issued
+        return issued
+
+    def _try_issue(self, desc: StreamDescriptor, now: int) -> bool:
+        addr = desc.next_address()
+        if addr is None:
+            return False  # waiting for an index
+        if desc.kind in (StreamKind.LOAD, StreamKind.GATHER):
+            target = desc.target
+            assert target is not None
+            if not target.can_reserve():
+                target.note_full_stall()
+                return False
+            if not self.memory.can_accept(addr, now):
+                return False
+            token = target.reserve()
+            accepted = self.memory.try_issue(
+                addr,
+                now,
+                on_complete=lambda v, t=token, q=target: q.fill(t, v),
+            )
+            assert accepted, "can_accept and try_issue disagreed"
+        else:
+            data_queue = desc.data_queue
+            assert data_queue is not None
+            if not data_queue.head_ready():
+                data_queue.note_empty_stall()
+                return False
+            if not self.memory.can_accept(addr, now):
+                return False
+            value = data_queue.peek()
+            accepted = self.memory.try_issue(
+                addr, now, is_write=True, value=value
+            )
+            assert accepted
+            data_queue.pop()
+        if desc.kind in (StreamKind.GATHER, StreamKind.SCATTER):
+            assert desc.index_queue is not None
+            desc.index_queue.pop()
+        desc.issued += 1
+        return True

@@ -1,0 +1,161 @@
+"""The Execute Processor (EP).
+
+The EP executes the *compute program*: pure arithmetic, with no notion of
+addresses.  Its distinguishing feature is **queue operands**: an ALU source
+naming ``lq<i>`` pops the head of load queue *i* (stalling until the memory
+has delivered it), and an ALU destination naming ``sdq<i>`` / ``eaq`` /
+``ebq`` pushes the result toward memory or the access processor (stalling
+while the queue is full).
+
+Stall causes recorded per cycle:
+
+``lq_empty``   a queue source's head value has not arrived yet
+``q_full``     the destination queue has no free slot
+
+A queue may appear at most once among an instruction's operands — popping
+the same queue twice in one cycle has no sensible in-order hardware
+analogue, and the code generators never emit it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import SimulationError
+from ..isa import ALU_FUNCS, ALU_OPS, EXECUTE_OPS, Imm, Op, Program, Queue, Reg
+from ..isa.operands import NUM_REGS, QueueSpace
+from ..queues import QueueFile
+
+
+@dataclass
+class EPStats:
+    instructions: int = 0
+    stall_cycles: dict[str, int] = field(default_factory=dict)
+
+    def total_stalls(self) -> int:
+        return sum(self.stall_cycles.values())
+
+
+_EP_DEST_SPACES = (QueueSpace.SDQ, QueueSpace.EAQ, QueueSpace.EBQ)
+
+
+class ExecuteProcessor:
+    """In-order interpreter of the compute instruction stream."""
+
+    def __init__(self, program: Program, queues: QueueFile):
+        self.program = program
+        self.queues = queues
+        self.registers: list[float] = [0.0] * NUM_REGS
+        self.pc = 0
+        self.halted = False
+        self.stats = EPStats()
+        #: stall cause currently holding the EP (None when advancing);
+        #: consumed by the timeline viewer in repro.trace.timeline
+        self._stalled_on: str | None = None
+        self._validate(program)
+
+    def _validate(self, program: Program) -> None:
+        for instr in program:
+            if instr.op not in EXECUTE_OPS:
+                raise SimulationError(
+                    f"{instr.op.value} is not a valid execute-processor op"
+                )
+            queues = [s for s in instr.srcs if isinstance(s, Queue)]
+            for q in queues:
+                if q.space is not QueueSpace.LQ:
+                    raise SimulationError(
+                        f"EP can only pop load queues, not {q}"
+                    )
+            if isinstance(instr.dest, Queue):
+                if instr.dest.space not in _EP_DEST_SPACES:
+                    raise SimulationError(
+                        f"EP cannot push to {instr.dest} (read-only space)"
+                    )
+                queues.append(instr.dest)
+            if len(set(queues)) != len(queues):
+                raise SimulationError(
+                    f"queue named twice in one instruction: {instr}"
+                )
+
+    def _stall(self, cause: str) -> None:
+        st = self.stats.stall_cycles
+        st[cause] = st.get(cause, 0) + 1
+        self._stalled_on = cause
+
+    def step(self, now: int) -> None:
+        """Attempt to execute one instruction this cycle."""
+        if self.halted:
+            return
+        if self.pc >= len(self.program):
+            raise SimulationError(
+                f"EP ran off the end of program {self.program.name!r}"
+            )
+        instr = self.program[self.pc]
+        op = instr.op
+        if op is Op.HALT:
+            self.halted = True
+            self._retire()
+            return
+        if op is Op.NOP:
+            self._retire()
+            return
+        if op is Op.JMP:
+            self._retire(instr.branch_target())
+            return
+        if op in (Op.BEQZ, Op.BNEZ):
+            value = self._read_reg_or_imm(instr.srcs[0])
+            taken = (value == 0) == (op is Op.BEQZ)
+            self._retire(instr.branch_target() if taken else None)
+            return
+        if op is Op.DECBNZ:
+            assert isinstance(instr.dest, Reg)
+            self.registers[instr.dest.index] -= 1
+            taken = self.registers[instr.dest.index] != 0
+            self._retire(instr.branch_target() if taken else None)
+            return
+        assert op in ALU_OPS, f"unhandled EP op {op}"
+        # check queue readiness before popping anything (atomic issue)
+        for src in instr.srcs:
+            if isinstance(src, Queue):
+                backing = self.queues.resolve(src)
+                if not backing.head_ready():
+                    backing.note_empty_stall()
+                    self._stall("lq_empty")
+                    return
+        dest_queue = None
+        if isinstance(instr.dest, Queue):
+            dest_queue = self.queues.resolve(instr.dest)
+            if not dest_queue.can_reserve():
+                dest_queue.note_full_stall()
+                self._stall("q_full")
+                return
+        args = [self._read(s) for s in instr.srcs]
+        result = ALU_FUNCS[op](*args)
+        if dest_queue is not None:
+            dest_queue.push(result)
+        else:
+            assert isinstance(instr.dest, Reg)
+            self.registers[instr.dest.index] = result
+        self._retire()
+
+    def _retire(self, new_pc: int | None = None) -> None:
+        self.stats.instructions += 1
+        self._stalled_on = None
+        self.pc = new_pc if new_pc is not None else self.pc + 1
+
+    def _read_reg_or_imm(self, operand) -> float:
+        if isinstance(operand, Reg):
+            return self.registers[operand.index]
+        if isinstance(operand, Imm):
+            return operand.value
+        raise SimulationError(
+            f"EP branch condition {operand} must be a register or immediate"
+        )
+
+    def _read(self, operand) -> float:
+        if isinstance(operand, Reg):
+            return self.registers[operand.index]
+        if isinstance(operand, Imm):
+            return operand.value
+        assert isinstance(operand, Queue)
+        return self.queues.resolve(operand).pop()

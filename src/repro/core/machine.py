@@ -1,0 +1,273 @@
+"""The coupled SMA machine: AP + EP + stream engine + store unit + memory.
+
+:class:`SMAMachine` owns one instance of every component and advances them
+in lockstep, one simulated cycle per iteration:
+
+1. memory completions are delivered (filling reserved queue slots),
+2. the store unit tries to commit one paired store,
+3. the stream engine issues structured-access requests,
+4. the access processor and the execute processor each attempt one
+   instruction,
+5. queue occupancies are sampled.
+
+The run ends when both processors have halted *and* all asynchronous work
+has drained (streams finished, SAQ empty, memory quiescent).  A watchdog
+aborts with a diagnostic if no forward progress happens for
+``deadlock_window`` cycles — with an in-order machine and FIFO queues this
+always indicates a miscompiled program (e.g. EP pops a queue the AP never
+feeds), and the stall-cause breakdown in the exception message says which.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..config import SMAConfig
+from ..errors import SimulationError
+from ..isa import Program
+from ..memory import BankedMemory, MainMemory
+from ..queues import QueueFile
+from .access_processor import AccessProcessor, APStats
+from .descriptors import StreamEngine, StreamEngineStats
+from .execute_processor import EPStats, ExecuteProcessor
+from .store_unit import StoreUnit, StoreUnitStats
+
+
+@dataclass
+class SMAResult:
+    """Everything measured during one SMA run."""
+
+    cycles: int
+    ap: APStats
+    ep: EPStats
+    engine: StreamEngineStats
+    store_unit: StoreUnitStats
+    memory_reads: int
+    memory_writes: int
+    bank_conflicts: int
+    port_rejects: int
+    memory_utilization: float
+    #: time-weighted mean number of occupied load-queue slots — the
+    #: run-ahead ("slip") the decoupling achieved.
+    mean_outstanding_loads: float
+    max_outstanding_loads: int
+    queue_stats: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def instructions(self) -> int:
+        return self.ap.instructions + self.ep.instructions
+
+    @property
+    def lod_events(self) -> int:
+        return self.ap.lod_events
+
+    @property
+    def lod_stall_cycles(self) -> int:
+        return self.ap.lod_stall_cycles()
+
+    def to_dict(self) -> dict:
+        """JSON-serializable flat summary (for harness consumers)."""
+        return {
+            "cycles": self.cycles,
+            "ap_instructions": self.ap.instructions,
+            "ep_instructions": self.ep.instructions,
+            "ap_stalls": dict(self.ap.stall_cycles),
+            "ep_stalls": dict(self.ep.stall_cycles),
+            "streams_started": self.engine.streams_started,
+            "stream_requests": self.engine.requests_issued,
+            "memory_reads": self.memory_reads,
+            "memory_writes": self.memory_writes,
+            "bank_conflicts": self.bank_conflicts,
+            "port_rejects": self.port_rejects,
+            "memory_utilization": self.memory_utilization,
+            "mean_outstanding_loads": self.mean_outstanding_loads,
+            "max_outstanding_loads": self.max_outstanding_loads,
+            "lod_events": self.lod_events,
+            "lod_stall_cycles": self.lod_stall_cycles,
+        }
+
+    def summary(self) -> str:
+        """Multi-line human-readable digest."""
+        lines = [
+            f"cycles                 {self.cycles}",
+            f"AP instructions        {self.ap.instructions}"
+            f"  (stalls {self.ap.total_stalls()}: {self.ap.stall_cycles})",
+            f"EP instructions        {self.ep.instructions}"
+            f"  (stalls {self.ep.total_stalls()}: {self.ep.stall_cycles})",
+            f"streams started        {self.engine.streams_started}"
+            f"  requests {self.engine.requests_issued}",
+            f"memory reads/writes    {self.memory_reads}/{self.memory_writes}"
+            f"  conflicts {self.bank_conflicts}",
+            f"memory utilization     {self.memory_utilization:.3f}",
+            f"mean outstanding loads {self.mean_outstanding_loads:.2f}"
+            f"  (max {self.max_outstanding_loads})",
+            f"LOD events             {self.lod_events}"
+            f"  ({self.lod_stall_cycles} stall cycles)",
+        ]
+        return "\n".join(lines)
+
+
+class SMAMachine:
+    """A complete decoupled access/execute machine instance."""
+
+    def __init__(
+        self,
+        access_program: Program,
+        execute_program: Program,
+        config: SMAConfig | None = None,
+        shared_memory: BankedMemory | None = None,
+    ):
+        self.config = config or SMAConfig()
+        if shared_memory is not None:
+            # multiprocessor configuration: several machines contend for
+            # one banked memory (see repro.core.cluster); the cluster owns
+            # the memory tick
+            self.memory = shared_memory.storage
+            self.banked = shared_memory
+            self._owns_memory = False
+        else:
+            self.memory = MainMemory(self.config.memory.size)
+            self.banked = BankedMemory(self.memory, self.config.memory)
+            self._owns_memory = True
+        self.queues = QueueFile(self.config)
+        self.engine = StreamEngine(
+            self.banked,
+            self.config.max_streams,
+            self.config.stream_issue_per_cycle,
+        )
+        self.store_unit = StoreUnit(self.queues, self.banked)
+        self.ap = AccessProcessor(
+            access_program, self.queues, self.banked, self.engine
+        )
+        self.ep = ExecuteProcessor(execute_program, self.queues)
+        for program in (access_program, execute_program):
+            for base, values in program.data:
+                self.memory.load_array(base, values)
+        self.cycle = 0
+        self._occupancy_sum = 0
+        self._occupancy_max = 0
+
+    # -- convenience for loading workloads ------------------------------
+
+    def load_array(self, base: int, values) -> None:
+        """Place a workload array into memory before running."""
+        self.memory.load_array(base, values)
+
+    def dump_array(self, base: int, count: int):
+        """Read back a result array after running."""
+        return self.memory.dump_array(base, count)
+
+    # -- the simulation loop ---------------------------------------------
+
+    def done(self) -> bool:
+        """True when both processors halted and all async work drained."""
+        return (
+            self.ap.halted
+            and self.ep.halted
+            and self.engine.idle()
+            and not self.store_unit.pending()
+            and (not self._owns_memory or self.banked.quiescent())
+        )
+
+    # kept for any external callers of the old private name
+    _done = done
+
+    def step_cycle(self, tick_memory: bool = True) -> None:
+        """Advance the machine by one cycle.
+
+        ``tick_memory=False`` is used by :class:`repro.core.cluster.
+        SMACluster`, which owns the shared memory and ticks it exactly
+        once per cycle for all member machines.
+        """
+        now = self.cycle
+        if tick_memory:
+            self.banked.tick(now)
+        self.store_unit.tick(now)
+        self.engine.tick(now)
+        self.ap.step(now)
+        self.ep.step(now)
+        self.queues.sample()
+        outstanding = sum(len(q) for q in self.queues.load)
+        self._occupancy_sum += outstanding
+        if outstanding > self._occupancy_max:
+            self._occupancy_max = outstanding
+        self.cycle += 1
+
+    def progress_state(self) -> tuple[int, ...]:
+        """A tuple that changes iff the machine made forward progress
+        (used for deadlock detection, here and in the cluster)."""
+        return (
+            self.ap.stats.instructions,
+            self.ep.stats.instructions,
+            self.engine.stats.requests_issued,
+            self.store_unit.stats.stores_issued,
+        )
+
+    def deadlock_report(self) -> str:
+        return (
+            f"AP@{self.ap.pc} halted={self.ap.halted} "
+            f"stalls={self.ap.stats.stall_cycles}; "
+            f"EP@{self.ep.pc} halted={self.ep.halted} "
+            f"stalls={self.ep.stats.stall_cycles}; "
+            f"live streams={self.engine.live_streams}"
+        )
+
+    def collect_result(self) -> SMAResult:
+        """Snapshot the statistics gathered so far into an SMAResult."""
+        mstats = self.banked.stats
+        cycles = max(self.cycle, 1)
+        return SMAResult(
+            cycles=self.cycle,
+            ap=self.ap.stats,
+            ep=self.ep.stats,
+            engine=self.engine.stats,
+            store_unit=self.store_unit.stats,
+            memory_reads=mstats.reads,
+            memory_writes=mstats.writes,
+            bank_conflicts=mstats.bank_conflicts,
+            port_rejects=mstats.port_rejects,
+            memory_utilization=mstats.utilization(
+                cycles, self.config.memory.num_banks
+            ),
+            mean_outstanding_loads=self._occupancy_sum / cycles,
+            max_outstanding_loads=self._occupancy_max,
+            queue_stats={q.name: q.stats for q in self.queues.all_queues()},
+        )
+
+    def run(
+        self,
+        max_cycles: int = 10_000_000,
+        deadlock_window: int = 10_000,
+        observer=None,
+    ) -> SMAResult:
+        """Run to completion; returns the collected statistics.
+
+        ``observer``, if given, is called as ``observer(machine, cycle)``
+        once per simulated cycle after all components have stepped — the
+        hook the trace collectors in :mod:`repro.trace` attach through.
+        """
+        last_progress_cycle = 0
+        last_progress_state: tuple[int, ...] = ()
+        while not self.done():
+            if self.cycle >= max_cycles:
+                raise SimulationError(
+                    f"exceeded cycle budget {max_cycles}"
+                )
+            self.step_cycle()
+            if observer is not None:
+                observer(self, self.cycle - 1)
+            memory_traffic = (
+                self.banked.stats.reads + self.banked.stats.writes,
+            )
+            state = self.progress_state() + memory_traffic
+            if state != last_progress_state:
+                last_progress_state = state
+                last_progress_cycle = self.cycle
+            elif self.cycle - last_progress_cycle > deadlock_window:
+                raise SimulationError(
+                    "deadlock: no forward progress for "
+                    f"{deadlock_window} cycles at cycle {self.cycle}; "
+                    + self.deadlock_report()
+                )
+        return self.collect_result()

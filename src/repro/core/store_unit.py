@@ -1,0 +1,66 @@
+"""Store pairing unit.
+
+Non-stream stores take the classic DAE path: the access processor pushes
+``(address, data-queue-index)`` pairs into the store-address queue (SAQ)
+with ``staddr``, and the execute processor pushes the matching values into
+the named store-data queue in the same program order.  The store unit
+marries the two heads and issues one write per cycle when both are ready
+and the memory accepts it.
+
+Stream stores (``streamst``/``scatter``) bypass the SAQ entirely — their
+addresses come from the descriptor — but draw from the same store-data
+queues, so a program must not interleave stream and SAQ stores on one data
+queue (the code generators allocate disjoint queues).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..memory.banks import BankedMemory
+from ..queues import QueueFile
+
+
+@dataclass
+class StoreUnitStats:
+    stores_issued: int = 0
+    #: cycles an address waited because its data had not been computed.
+    data_wait_cycles: int = 0
+    #: cycles a ready pair waited on the memory port / bank.
+    memory_wait_cycles: int = 0
+
+
+class StoreUnit:
+    """Pairs SAQ addresses with store-data values; one write per cycle."""
+
+    def __init__(self, queues: QueueFile, memory: BankedMemory):
+        self.queues = queues
+        self.memory = memory
+        self.stats = StoreUnitStats()
+
+    def tick(self, now: int) -> bool:
+        """Try to issue one paired store; returns True if one was issued."""
+        saq = self.queues.store_addr
+        if not saq.head_ready():
+            return False
+        addr, data_queue_index = saq.peek()
+        data_queue = self.queues.store_data[data_queue_index]
+        if not data_queue.head_ready():
+            self.stats.data_wait_cycles += 1
+            data_queue.note_empty_stall()
+            return False
+        if not self.memory.can_accept(addr, now):
+            self.stats.memory_wait_cycles += 1
+            return False
+        accepted = self.memory.try_issue(
+            addr, now, is_write=True, value=data_queue.peek()
+        )
+        assert accepted
+        saq.pop()
+        data_queue.pop()
+        self.stats.stores_issued += 1
+        return True
+
+    def pending(self) -> bool:
+        """True while addressed stores are waiting to be paired."""
+        return not self.queues.store_addr.is_empty()

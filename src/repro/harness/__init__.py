@@ -1,0 +1,24 @@
+"""Experiment harness: runners, sweeps, tables for every figure/table."""
+
+from .experiments import EXPERIMENTS, run_experiment
+from .runner import (
+    ComparisonRun,
+    KernelRun,
+    compare_spec,
+    run_on_scalar,
+    run_on_sma,
+    run_spec_reference,
+)
+from .tables import Table
+
+__all__ = [
+    "EXPERIMENTS",
+    "ComparisonRun",
+    "KernelRun",
+    "Table",
+    "compare_spec",
+    "run_experiment",
+    "run_on_scalar",
+    "run_on_sma",
+    "run_spec_reference",
+]

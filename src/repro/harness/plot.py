@@ -1,0 +1,90 @@
+"""ASCII line plots for figure-style experiment tables.
+
+The figure experiments (R-F1..R-F6) produce tables whose first column is
+the swept x value and whose remaining columns are series.  This module
+renders them as terminal line charts so the benchmark output shows the
+*shape* the experiment reproduces, not just numbers::
+
+    speedup
+    12.6 |                         ·B
+         |                    B
+         |               B         A
+     6.8 |          B  A
+         |       A
+         |  AB
+     3.3 +------------------------------
+         1        8                  32   latency
+         A=hydro  B=daxpy
+
+Pure standard library; no plotting dependencies.
+"""
+
+from __future__ import annotations
+
+from .tables import Table
+
+_MARKS = "ABCDEFGHIJKLMNOP"
+
+
+def render_plot(
+    table: Table,
+    width: int = 60,
+    height: int = 16,
+    logx: bool = False,
+) -> str:
+    """Render a figure table (x column + series columns) as ASCII art."""
+    if len(table.columns) < 2 or not table.rows:
+        raise ValueError("need an x column, one series, and data")
+    xs = [float(row[0]) for row in table.rows]
+    series_names = list(table.columns[1:])
+    series = [
+        [float(row[1 + i]) for row in table.rows]
+        for i in range(len(series_names))
+    ]
+    if logx:
+        import math
+
+        if min(xs) <= 0:
+            raise ValueError("logx needs positive x values")
+        xs = [math.log2(x) for x in xs]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo = min(v for s in series for v in s)
+    y_hi = max(v for s in series for v in s)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for mark, values in zip(_MARKS, series):
+        for x, y in zip(xs, values):
+            col = round((x - x_lo) / x_span * (width - 1))
+            row = round((y - y_lo) / y_span * (height - 1))
+            r = height - 1 - row
+            cell = grid[r][col]
+            grid[r][col] = "*" if cell not in (" ", mark) else mark
+
+    label_width = max(len(f"{y_hi:.3g}"), len(f"{y_lo:.3g}"))
+    lines = [f"[{table.experiment_id}] {table.title}"]
+    for i, row_cells in enumerate(grid):
+        if i == 0:
+            label = f"{y_hi:.3g}".rjust(label_width)
+        elif i == height - 1:
+            label = f"{y_lo:.3g}".rjust(label_width)
+        else:
+            label = " " * label_width
+        lines.append(f"{label} |{''.join(row_cells)}")
+    axis = "-" * width
+    lines.append(f"{' ' * label_width} +{axis}")
+    x_label_lo = f"{table.rows[0][0]}"
+    x_label_hi = f"{table.rows[-1][0]}"
+    pad = width - len(x_label_lo) - len(x_label_hi)
+    lines.append(
+        f"{' ' * label_width}  {x_label_lo}{' ' * max(pad, 1)}{x_label_hi}"
+        f"   {table.columns[0]}"
+    )
+    legend = "  ".join(
+        f"{mark}={name}" for mark, name in zip(_MARKS, series_names)
+    )
+    lines.append(f"{' ' * label_width}  {legend}")
+    if any("*" in "".join(row) for row in grid):
+        lines.append(f"{' ' * label_width}  (* = overlapping series)")
+    return "\n".join(lines)

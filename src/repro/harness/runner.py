@@ -1,0 +1,288 @@
+"""Workload runner: compile a kernel, load its data, run a machine,
+collect results.
+
+This is the layer every experiment and example goes through.  It
+guarantees the three executions of a kernel (reference, scalar baseline,
+SMA) see identical memory layouts and identical input data, so results can
+be compared word-for-word while cycle counts are compared fairly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Mapping, Any
+
+import numpy as np
+
+from ..baseline import ScalarMachine, ScalarResult
+from ..config import MemoryConfig, ScalarConfig, SMAConfig
+from ..core import SMAMachine, SMAResult
+from ..kernels import (
+    Kernel,
+    KernelSpec,
+    LoweredScalar,
+    LoweredSMA,
+    lower_scalar,
+    lower_sma,
+    run_reference,
+)
+from ..kernels.layout import Layout
+
+
+@dataclass(frozen=True)
+class KernelRun:
+    """Outcome of running one kernel on one machine."""
+
+    kernel: Kernel
+    machine: str  # "sma" | "sma-nostream" | "scalar" | "scalar-cache"
+    result: Any  # SMAResult | ScalarResult
+    outputs: dict[str, np.ndarray]
+    layout: Layout
+
+    @property
+    def cycles(self) -> int:
+        return self.result.cycles
+
+
+def _fit_memory(config_memory: MemoryConfig, layout: Layout) -> MemoryConfig:
+    """Grow the memory size if the kernel footprint needs it."""
+    needed = layout.end + 16
+    if config_memory.size >= needed:
+        return config_memory
+    return replace(config_memory, size=needed)
+
+
+def _load_inputs(machine, layout: Layout, kernel: Kernel,
+                 inputs: Mapping[str, np.ndarray]) -> None:
+    for decl in kernel.arrays:
+        machine.load_array(layout.base(decl.name), inputs[decl.name])
+
+
+def _dump_outputs(machine, layout: Layout, kernel: Kernel) -> dict:
+    return {
+        decl.name: machine.dump_array(layout.base(decl.name), decl.size)
+        for decl in kernel.arrays
+    }
+
+
+def run_on_sma(
+    kernel: Kernel,
+    inputs: Mapping[str, np.ndarray],
+    config: SMAConfig | None = None,
+    use_streams: bool = True,
+    lowered: LoweredSMA | None = None,
+    max_cycles: int = 10_000_000,
+) -> KernelRun:
+    """Compile (or reuse ``lowered``) and run ``kernel`` on the SMA."""
+    cfg = config or SMAConfig()
+    if lowered is None:
+        lowered = lower_sma(kernel, use_streams=use_streams)
+    cfg = replace(cfg, memory=_fit_memory(cfg.memory, lowered.layout))
+    machine = SMAMachine(
+        lowered.access_program, lowered.execute_program, cfg
+    )
+    _load_inputs(machine, lowered.layout, kernel, inputs)
+    result: SMAResult = machine.run(max_cycles=max_cycles)
+    return KernelRun(
+        kernel,
+        "sma" if lowered.uses_streams else "sma-nostream",
+        result,
+        _dump_outputs(machine, lowered.layout, kernel),
+        lowered.layout,
+    )
+
+
+def run_on_scalar(
+    kernel: Kernel,
+    inputs: Mapping[str, np.ndarray],
+    config: ScalarConfig | None = None,
+    lowered: LoweredScalar | None = None,
+    max_cycles: int = 100_000_000,
+) -> KernelRun:
+    """Compile (or reuse ``lowered``) and run ``kernel`` on the baseline."""
+    cfg = config or ScalarConfig()
+    if lowered is None:
+        lowered = lower_scalar(kernel)
+    cfg = replace(cfg, memory=_fit_memory(cfg.memory, lowered.layout))
+    machine = ScalarMachine(lowered.program, cfg)
+    _load_inputs(machine, lowered.layout, kernel, inputs)
+    result: ScalarResult = machine.run(max_cycles=max_cycles)
+    return KernelRun(
+        kernel,
+        "scalar-cache" if cfg.cache is not None else "scalar",
+        result,
+        _dump_outputs(machine, lowered.layout, kernel),
+        lowered.layout,
+    )
+
+
+def run_spec_reference(
+    spec: KernelSpec, n: int | None = None, seed: int = 12345
+) -> dict[str, np.ndarray]:
+    """Golden result of a suite kernel."""
+    kernel, inputs = spec.instantiate(n, seed)
+    return run_reference(kernel, inputs)
+
+
+def run_on_vector(
+    kernel: Kernel,
+    inputs: Mapping[str, np.ndarray],
+    memory: MemoryConfig | None = None,
+    max_vl: int = 64,
+) -> KernelRun:
+    """Compile and run ``kernel`` on the vector-machine baseline.
+
+    Raises :class:`repro.kernels.lower_vector.VectorizationError` when the
+    kernel contains a pattern a classic vectorizer must reject — callers
+    that want the conventional fallback should catch it and run the
+    scalar machine instead (see experiment R-T6).
+    """
+    from ..baseline.vector_machine import VectorMachine
+    from ..kernels.lower_vector import lower_vector
+
+    lowered = lower_vector(kernel, max_vl=max_vl)
+    mem = _fit_memory(memory or MemoryConfig(), lowered.layout)
+    machine = VectorMachine(lowered.program, mem, max_vl=max_vl)
+    _load_inputs(machine, lowered.layout, kernel, inputs)
+    result = machine.run()
+    return KernelRun(
+        kernel,
+        "vector",
+        result,
+        _dump_outputs(machine, lowered.layout, kernel),
+        lowered.layout,
+    )
+
+
+@dataclass(frozen=True)
+class ClusterKernelRun:
+    """Outcome of running several kernels on an SMA cluster."""
+
+    cluster_cycles: int
+    node_cycles: list[int]
+    standalone_cycles: list[int]
+    bank_conflicts: int
+    memory_utilization: float
+    outputs: list[dict[str, np.ndarray]]
+
+    @property
+    def interference_slowdowns(self) -> list[float]:
+        """Per-node slowdown relative to running alone on the same
+        configuration (1.0 = no interference)."""
+        return [
+            clustered / alone
+            for clustered, alone in zip(
+                self.node_cycles, self.standalone_cycles
+            )
+        ]
+
+
+def run_cluster(
+    jobs: list[tuple[Kernel, Mapping[str, np.ndarray]]],
+    config: SMAConfig | None = None,
+    check: bool = True,
+    max_cycles: int = 10_000_000,
+) -> ClusterKernelRun:
+    """Run several kernels concurrently on an SMA cluster sharing one
+    banked memory (each kernel in its own address region), and compare
+    each node's finish time with its standalone run.
+
+    With ``check`` (default), every node's outputs are verified word-exact
+    against the reference interpreter — contention must never change
+    results, only timing.
+    """
+    from ..core.cluster import SMACluster
+    from ..kernels import lower_sma as _lower_sma
+
+    cfg = config or SMAConfig()
+    lowered = []
+    base = 16
+    for kernel, _inputs in jobs:
+        low = _lower_sma(kernel, base=base)
+        lowered.append(low)
+        base = low.layout.end + 16
+    cfg = replace(
+        cfg, memory=replace(cfg.memory, size=max(cfg.memory.size, base + 16))
+    )
+    cluster = SMACluster(
+        [(low.access_program, low.execute_program) for low in lowered],
+        cfg,
+    )
+    for (kernel, inputs), low in zip(jobs, lowered):
+        for decl in kernel.arrays:
+            cluster.load_array(low.layout.base(decl.name), inputs[decl.name])
+    cluster.run(max_cycles=max_cycles)
+    outputs = []
+    for (kernel, inputs), low in zip(jobs, lowered):
+        outputs.append({
+            decl.name: cluster.dump_array(
+                low.layout.base(decl.name), decl.size
+            )
+            for decl in kernel.arrays
+        })
+    if check:
+        for (kernel, inputs), output in zip(jobs, outputs):
+            golden = run_reference(kernel, inputs)
+            for name, want in golden.items():
+                if not np.array_equal(output[name], want):
+                    raise AssertionError(
+                        f"cluster node diverged from reference in "
+                        f"{kernel.name}/{name}"
+                    )
+    standalone = [
+        run_on_sma(kernel, inputs, cfg).cycles for kernel, inputs in jobs
+    ]
+    return ClusterKernelRun(
+        cluster_cycles=cluster.cycle,
+        node_cycles=[int(c) for c in cluster.finish_cycles],
+        standalone_cycles=standalone,
+        bank_conflicts=cluster.banked.stats.bank_conflicts,
+        memory_utilization=cluster.banked.stats.utilization(
+            max(cluster.cycle, 1), cfg.memory.num_banks
+        ),
+        outputs=outputs,
+    )
+
+
+@dataclass(frozen=True)
+class ComparisonRun:
+    """SMA vs scalar on the same kernel instance."""
+
+    spec_name: str
+    n: int
+    sma: KernelRun
+    scalar: KernelRun
+
+    @property
+    def speedup(self) -> float:
+        return self.scalar.cycles / self.sma.cycles
+
+
+def compare_spec(
+    spec: KernelSpec,
+    n: int | None = None,
+    seed: int = 12345,
+    sma_config: SMAConfig | None = None,
+    scalar_config: ScalarConfig | None = None,
+    check: bool = True,
+) -> ComparisonRun:
+    """Run one suite kernel on both machines; optionally verify both
+    against the reference interpreter (exact word equality)."""
+    kernel, inputs = spec.instantiate(n, seed)
+    size = kernel.array(kernel.arrays[0].name).size  # noqa: F841
+    sma_run = run_on_sma(kernel, inputs, sma_config)
+    scalar_run = run_on_scalar(kernel, inputs, scalar_config)
+    if check:
+        golden = run_reference(kernel, inputs)
+        for name, want in golden.items():
+            for run in (sma_run, scalar_run):
+                got = run.outputs[name]
+                if not np.array_equal(got, want):
+                    bad = int(np.flatnonzero(got != want)[0])
+                    raise AssertionError(
+                        f"{spec.name}: {run.machine} diverges from the "
+                        f"reference in array {name!r} at index {bad}: "
+                        f"{got[bad]!r} != {want[bad]!r}"
+                    )
+    actual_n = n if n is not None else spec.default_n
+    return ComparisonRun(spec.name, actual_n, sma_run, scalar_run)

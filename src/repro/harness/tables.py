@@ -1,0 +1,94 @@
+"""ASCII table / series formatting for experiment output.
+
+The benchmarks print their reproduced tables and figure series through
+these helpers so every experiment reports in one consistent, diffable
+format (also consumed verbatim by EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+
+def _fmt_cell(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+@dataclass
+class Table:
+    """A titled table of rows; figures are tables of (x, series…) points."""
+
+    experiment_id: str
+    title: str
+    columns: Sequence[str]
+    rows: list[tuple] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add_row(self, *values) -> None:
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"row width {len(values)} != {len(self.columns)} columns"
+            )
+        self.rows.append(values)
+
+    def note(self, text: str) -> None:
+        self.notes.append(text)
+
+    def column(self, name: str) -> list:
+        """Values of one column across all rows."""
+        idx = list(self.columns).index(name)
+        return [row[idx] for row in self.rows]
+
+    def row_map(self, key_column: str) -> dict:
+        """Rows keyed by one column's value (for assertions in tests)."""
+        idx = list(self.columns).index(key_column)
+        return {row[idx]: row for row in self.rows}
+
+    def to_text(self) -> str:
+        cells = [[_fmt_cell(v) for v in row] for row in self.rows]
+        widths = [
+            max(len(str(c)), *(len(r[i]) for r in cells)) if cells
+            else len(str(c))
+            for i, c in enumerate(self.columns)
+        ]
+        sep = "-+-".join("-" * w for w in widths)
+        header = " | ".join(
+            str(c).ljust(w) for c, w in zip(self.columns, widths)
+        )
+        lines = [f"[{self.experiment_id}] {self.title}", header, sep]
+        for row in cells:
+            lines.append(
+                " | ".join(cell.rjust(w) for cell, w in zip(row, widths))
+            )
+        for note in self.notes:
+            lines.append(f"  note: {note}")
+        return "\n".join(lines)
+
+    def to_csv(self) -> str:
+        """Comma-separated rendering (header row + data rows); notes and
+        the title are carried as ``#`` comment lines so a CSV reader can
+        skip them."""
+        import csv
+        import io
+
+        buffer = io.StringIO()
+        buffer.write(f"# [{self.experiment_id}] {self.title}\n")
+        for note in self.notes:
+            buffer.write(f"# note: {note}\n")
+        writer = csv.writer(buffer, lineterminator="\n")
+        writer.writerow(self.columns)
+        for row in self.rows:
+            writer.writerow(row)
+        return buffer.getvalue()
+
+    def __str__(self) -> str:
+        return self.to_text()

@@ -1,0 +1,82 @@
+"""Instruction-set architecture: operands, opcodes, programs, assembler.
+
+Public surface::
+
+    from repro.isa import (
+        Op, Instruction, ins, Program, ProgramBuilder,
+        Reg, Imm, Queue, Label, QueueSpace, lq, sdq, iq, SAQ, EAQ, EBQ,
+        assemble, disassemble, encode_program, decode_program,
+    )
+"""
+
+from .assembler import assemble
+from .disassembler import disassemble
+from .encoding import (
+    decode_instruction,
+    decode_program,
+    encode_instruction,
+    encode_program,
+)
+from .instruction import Instruction, ins
+from .opcodes import (
+    ACCESS_OPS,
+    ALU_FUNCS,
+    ALU_OPS,
+    CONTROL_OPS,
+    EXECUTE_OPS,
+    OPINFO,
+    SCALAR_OPS,
+    Op,
+)
+from .operands import (
+    EAQ,
+    EBQ,
+    NUM_REGS,
+    SAQ,
+    Imm,
+    Label,
+    Operand,
+    Queue,
+    QueueSpace,
+    Reg,
+    iq,
+    lq,
+    parse_operand,
+    sdq,
+)
+from .program import Program, ProgramBuilder
+
+__all__ = [
+    "ACCESS_OPS",
+    "ALU_FUNCS",
+    "ALU_OPS",
+    "CONTROL_OPS",
+    "EAQ",
+    "EBQ",
+    "EXECUTE_OPS",
+    "Imm",
+    "Instruction",
+    "Label",
+    "NUM_REGS",
+    "OPINFO",
+    "Op",
+    "Operand",
+    "Program",
+    "ProgramBuilder",
+    "Queue",
+    "QueueSpace",
+    "Reg",
+    "SAQ",
+    "SCALAR_OPS",
+    "assemble",
+    "decode_instruction",
+    "decode_program",
+    "disassemble",
+    "encode_instruction",
+    "encode_program",
+    "ins",
+    "iq",
+    "lq",
+    "parse_operand",
+    "sdq",
+]

@@ -1,0 +1,121 @@
+"""Two-pass text assembler for all three instruction streams.
+
+Syntax, one instruction per line::
+
+    ; comment (also '#' at start of line or after whitespace? no: use ';')
+    top:                      ; label definitions end with ':'
+        mov   a1, #0
+        streamld lq0, a2, #1, #100
+        add   x3, lq0, x4
+        decbnz a5, top
+        halt
+
+Operands are comma-separated: registers ``r``/``a``/``x`` + number, queues
+(``lq0``, ``sdq0``, ``iq0``, ``saq``, ``eaq``, ``ebq``), immediates (``#3.5``
+or bare numbers), and labels.  The destination, when the opcode has one,
+comes first.  Multiple labels may precede an instruction; labels may also
+share a line with it (``top: add x1, x2, x3``).
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..errors import AssemblyError
+from .instruction import Instruction
+from .opcodes import OPINFO, Op
+from .operands import parse_operand
+from .program import Program, ProgramBuilder
+
+_MNEMONICS = {op.value: op for op in Op}
+_LABEL_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*$")
+
+
+def assemble(text: str, name: str = "program",
+             require_halt: bool = True) -> Program:
+    """Assemble ``text`` into a label-resolved :class:`Program`.
+
+    Raises :class:`AssemblyError` (with the offending line number) on any
+    syntax or resolution problem.
+    """
+    builder = ProgramBuilder(name)
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split(";", 1)[0].strip()
+        if not line:
+            continue
+        # peel off any number of leading "label:" prefixes
+        while ":" in line:
+            head, rest = line.split(":", 1)
+            head = head.strip()
+            if not _LABEL_RE.match(head):
+                raise AssemblyError(f"bad label {head!r}", lineno)
+            if head in _MNEMONICS:
+                raise AssemblyError(
+                    f"label {head!r} collides with a mnemonic", lineno
+                )
+            try:
+                builder.label(head)
+            except AssemblyError as e:
+                raise AssemblyError(str(e), lineno) from None
+            line = rest.strip()
+        if not line:
+            continue
+        if line.startswith("."):
+            _parse_directive(line, lineno, builder)
+            continue
+        builder.emit(_parse_instruction(line, lineno))
+    try:
+        return builder.finalize(require_halt=require_halt)
+    except AssemblyError as e:
+        raise AssemblyError(f"{name}: {e}") from None
+
+
+def _parse_directive(line: str, lineno: int, builder: ProgramBuilder) -> None:
+    """``.data BASE, V0, V1, ...`` — stage words into memory at BASE."""
+    parts = line.split(None, 1)
+    if parts[0] != ".data":
+        raise AssemblyError(f"unknown directive {parts[0]!r}", lineno)
+    if len(parts) < 2:
+        raise AssemblyError(".data needs a base address and values", lineno)
+    tokens = [tok.strip() for tok in parts[1].split(",")]
+    if len(tokens) < 2:
+        raise AssemblyError(".data needs at least one value", lineno)
+    try:
+        numbers = [float(tok) for tok in tokens]
+    except ValueError as exc:
+        raise AssemblyError(f"bad .data operand: {exc}", lineno) from None
+    base = numbers[0]
+    if base != int(base) or base < 0:
+        raise AssemblyError(f"bad .data base {tokens[0]!r}", lineno)
+    builder.data(int(base), numbers[1:])
+
+
+def _parse_instruction(line: str, lineno: int) -> Instruction:
+    parts = line.split(None, 1)
+    mnemonic = parts[0].lower()
+    if mnemonic not in _MNEMONICS:
+        raise AssemblyError(f"unknown mnemonic {mnemonic!r}", lineno)
+    op = _MNEMONICS[mnemonic]
+    info = OPINFO[op]
+    operands = []
+    if len(parts) > 1:
+        for tok in parts[1].split(","):
+            tok = tok.strip()
+            if not tok:
+                raise AssemblyError("empty operand", lineno)
+            try:
+                operands.append(parse_operand(tok))
+            except ValueError as e:
+                raise AssemblyError(str(e), lineno) from None
+    expected = info.n_src + (1 if info.has_dest else 0)
+    if len(operands) != expected:
+        raise AssemblyError(
+            f"{mnemonic} expects {expected} operand(s), got {len(operands)}",
+            lineno,
+        )
+    dest = operands[0] if info.has_dest else None
+    srcs = tuple(operands[1:]) if info.has_dest else tuple(operands)
+    try:
+        return Instruction(op, dest, srcs)
+    except AssemblyError as e:
+        raise AssemblyError(str(e), lineno) from None

@@ -1,0 +1,50 @@
+"""Disassembler: turn a :class:`Program` back into assembler text.
+
+The output re-assembles to an equivalent program (same instructions), with
+synthetic labels (``L<index>``) generated for every branch target so the
+text is position-independent again.  Round-trip property:
+``assemble(disassemble(p)).instructions == p.instructions``.
+"""
+
+from __future__ import annotations
+
+from .instruction import Instruction
+from .operands import Imm
+from .program import Program
+
+
+def disassemble(program: Program) -> str:
+    """Return assembler text for ``program``."""
+    targets: dict[int, str] = {}
+    for instr in program:
+        if instr.info.is_branch:
+            t = instr.branch_target()
+            targets.setdefault(t, f"L{t}")
+    lines: list[str] = []
+    for base, values in program.data:
+        rendered = ", ".join(repr(v) for v in values)
+        lines.append(f".data {base}, {rendered}")
+    for i, instr in enumerate(program.instructions):
+        if i in targets:
+            lines.append(f"{targets[i]}:")
+        lines.append("    " + _format(instr, targets))
+    # a branch may target one past the last instruction (fall-off exit)
+    if len(program) in targets:
+        lines.append(f"{targets[len(program)]}:")
+        lines.append("    nop")
+    return "\n".join(lines) + "\n"
+
+
+def _format(instr: Instruction, targets: dict[int, str]) -> str:
+    info = instr.info
+    operands = []
+    if instr.dest is not None:
+        operands.append(str(instr.dest))
+    for idx, src in enumerate(instr.srcs):
+        if info.is_branch and idx == info.target_index and isinstance(src, Imm):
+            operands.append(targets[int(src.value)])
+        else:
+            operands.append(str(src))
+    if operands:
+        return f"{instr.op.value} " + ", ".join(operands)
+    return instr.op.value

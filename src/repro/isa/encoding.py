@@ -1,0 +1,164 @@
+"""Binary encoding of instructions and programs.
+
+Instructions encode to a variable number of little-endian 64-bit words: one
+header word plus one extension word per immediate operand.  Header layout
+(least-significant bits first)::
+
+    bits  0..7   opcode ordinal
+    bits  8..18  destination descriptor
+    bits 19..29  src0 descriptor
+    bits 30..40  src1 descriptor
+    bits 41..51  src2 descriptor
+    bits 52..62  src3 descriptor
+    bit  63      reserved (0)
+
+Each 11-bit operand descriptor is ``kind(2) | payload(9)``:
+
+* kind 0 — absent (payload 0)
+* kind 1 — register (payload = register index)
+* kind 2 — queue (payload = ``space(3) << 4 | index(4)``)
+* kind 3 — immediate (payload = ``is_int(1) << 3 | slot(3)``); the value
+  lives in extension word ``slot`` as a signed int64 or float64.
+
+Only *finalized* programs encode (labels resolved to immediates).  Label
+names are not preserved; decoding yields an equivalent but label-less
+program.  The encoding exists for artifact interchange and as an executable
+specification of the ISA's operand model — round-trip identity is enforced
+by the test suite.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from ..errors import EncodingError
+from .instruction import Instruction
+from .opcodes import OPINFO, Op
+from .operands import Imm, Label, Operand, Queue, QueueSpace, Reg
+from .program import Program
+
+_OPS = list(Op)
+_OP_ORDINAL = {op: i for i, op in enumerate(_OPS)}
+
+_KIND_NONE, _KIND_REG, _KIND_QUEUE, _KIND_IMM = 0, 1, 2, 3
+_MAX_IMMS = 8
+
+
+def _encode_descriptor(operand: Operand | None, imms: list[Imm]) -> int:
+    if operand is None:
+        return _KIND_NONE << 9
+    if isinstance(operand, Reg):
+        return (_KIND_REG << 9) | operand.index
+    if isinstance(operand, Queue):
+        if operand.index >= 16:
+            raise EncodingError(f"queue index {operand.index} unencodable")
+        return (_KIND_QUEUE << 9) | (operand.space.value << 4) | operand.index
+    if isinstance(operand, Imm):
+        if len(imms) >= _MAX_IMMS:
+            raise EncodingError("too many immediates in one instruction")
+        slot = len(imms)
+        imms.append(operand)
+        is_int = 1 if isinstance(operand.value, int) else 0
+        return (_KIND_IMM << 9) | (is_int << 3) | slot
+    if isinstance(operand, Label):
+        raise EncodingError(
+            f"unresolved label {operand.name!r}; finalize the program first"
+        )
+    raise EncodingError(f"unencodable operand {operand!r}")
+
+
+def _decode_descriptor(desc: int, imm_words: list[int]) -> Operand | None:
+    kind = desc >> 9
+    payload = desc & 0x1FF
+    if kind == _KIND_NONE:
+        return None
+    if kind == _KIND_REG:
+        return Reg(payload)
+    if kind == _KIND_QUEUE:
+        return Queue(QueueSpace((payload >> 4) & 0x7), payload & 0xF)
+    slot = payload & 0x7
+    if slot >= len(imm_words):
+        raise EncodingError(f"immediate slot {slot} missing")
+    raw = imm_words[slot]
+    if (payload >> 3) & 1:  # integer immediate
+        return Imm(struct.unpack("<q", struct.pack("<Q", raw))[0])
+    return Imm(struct.unpack("<d", struct.pack("<Q", raw))[0])
+
+
+def encode_instruction(instr: Instruction) -> bytes:
+    """Encode one instruction to its header + extension words."""
+    imms: list[Imm] = []
+    descs = [_encode_descriptor(instr.dest, imms)]
+    srcs = list(instr.srcs) + [None] * (4 - len(instr.srcs))
+    if len(srcs) > 4:
+        raise EncodingError("more than 4 source operands")
+    for s in srcs:
+        descs.append(_encode_descriptor(s, imms))
+    header = _OP_ORDINAL[instr.op]
+    for i, d in enumerate(descs):
+        header |= d << (8 + 11 * i)
+    words = [header]
+    for imm in imms:
+        if isinstance(imm.value, int):
+            if not -(2**63) <= imm.value < 2**63:
+                raise EncodingError(f"immediate {imm.value} out of int64 range")
+            words.append(
+                struct.unpack("<Q", struct.pack("<q", imm.value))[0]
+            )
+        else:
+            words.append(
+                struct.unpack("<Q", struct.pack("<d", float(imm.value)))[0]
+            )
+    return struct.pack(f"<{len(words)}Q", *words)
+
+
+def decode_instruction(data: bytes, offset: int = 0) -> tuple[Instruction, int]:
+    """Decode one instruction at ``offset``; returns ``(instr, next_offset)``."""
+    if offset + 8 > len(data):
+        raise EncodingError("truncated instruction header")
+    (header,) = struct.unpack_from("<Q", data, offset)
+    op_ordinal = header & 0xFF
+    if op_ordinal >= len(_OPS):
+        raise EncodingError(f"bad opcode ordinal {op_ordinal}")
+    op = _OPS[op_ordinal]
+    descs = [(header >> (8 + 11 * i)) & 0x7FF for i in range(5)]
+    n_imms = sum(1 for d in descs if (d >> 9) == _KIND_IMM)
+    end = offset + 8 + 8 * n_imms
+    if end > len(data):
+        raise EncodingError("truncated immediate extension words")
+    imm_words = list(
+        struct.unpack_from(f"<{n_imms}Q", data, offset + 8)
+    )
+    dest = _decode_descriptor(descs[0], imm_words)
+    info = OPINFO[op]
+    srcs = tuple(
+        _decode_descriptor(descs[1 + i], imm_words) for i in range(info.n_src)
+    )
+    if any(s is None for s in srcs):
+        raise EncodingError(f"{op.value}: missing source operand in encoding")
+    return Instruction(op, dest, srcs), end
+
+
+_MAGIC = b"SMA1"
+
+
+def encode_program(program: Program) -> bytes:
+    """Encode a finalized program (magic, count, instructions)."""
+    chunks = [_MAGIC, struct.pack("<I", len(program))]
+    chunks.extend(encode_instruction(i) for i in program)
+    return b"".join(chunks)
+
+
+def decode_program(data: bytes, name: str = "decoded") -> Program:
+    """Inverse of :func:`encode_program` (labels are not recovered)."""
+    if data[:4] != _MAGIC:
+        raise EncodingError("bad program magic")
+    (count,) = struct.unpack_from("<I", data, 4)
+    offset = 8
+    instructions = []
+    for _ in range(count):
+        instr, offset = decode_instruction(data, offset)
+        instructions.append(instr)
+    if offset != len(data):
+        raise EncodingError("trailing bytes after program")
+    return Program(name, tuple(instructions), {})

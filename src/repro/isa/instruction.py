@@ -1,0 +1,98 @@
+"""The :class:`Instruction` record and shape validation.
+
+Instructions are immutable; a program is a tuple of them.  Validation is
+structural only (right number of operands, operand kinds that can never be
+legal are rejected); per-processor legality is enforced by the machines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import AssemblyError
+from .opcodes import OPINFO, Op
+from .operands import Imm, Label, Operand, Queue, Reg
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One machine instruction: ``op dest, src0, src1, ...``.
+
+    ``dest`` is ``None`` for opcodes without a destination.  Branch targets
+    are carried in ``srcs`` as :class:`Label` until finalized, then as
+    :class:`Imm` absolute instruction indices.
+    """
+
+    op: Op
+    dest: Operand | None = None
+    srcs: tuple[Operand, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        info = OPINFO[self.op]
+        if len(self.srcs) != info.n_src:
+            raise AssemblyError(
+                f"{self.op.value} takes {info.n_src} source operand(s), "
+                f"got {len(self.srcs)}"
+            )
+        if info.has_dest and self.dest is None:
+            raise AssemblyError(f"{self.op.value} requires a destination")
+        if not info.has_dest and self.dest is not None:
+            raise AssemblyError(f"{self.op.value} takes no destination")
+        if isinstance(self.dest, (Imm, Label)):
+            raise AssemblyError(
+                f"{self.op.value}: destination cannot be an immediate/label"
+            )
+        if info.is_branch:
+            tgt = self.srcs[info.target_index]
+            if not isinstance(tgt, (Label, Imm)):
+                raise AssemblyError(
+                    f"{self.op.value}: branch target must be a label or "
+                    f"immediate, got {tgt}"
+                )
+
+    # -- queries used by the machines ----------------------------------
+
+    @property
+    def info(self):
+        return OPINFO[self.op]
+
+    def queue_sources(self) -> tuple[Queue, ...]:
+        """All queue operands read by this instruction (popped on issue)."""
+        return tuple(s for s in self.srcs if isinstance(s, Queue))
+
+    def queue_dest(self) -> Queue | None:
+        return self.dest if isinstance(self.dest, Queue) else None
+
+    def branch_target(self) -> int:
+        """Absolute target index; only valid after label resolution."""
+        tgt = self.srcs[self.info.target_index]
+        if not isinstance(tgt, Imm):
+            raise AssemblyError(
+                f"branch target {tgt} not resolved; call Program.finalize()"
+            )
+        return int(tgt.value)
+
+    def with_target(self, index: int) -> "Instruction":
+        """Copy of this instruction with its branch target resolved."""
+        info = self.info
+        srcs = list(self.srcs)
+        srcs[info.target_index] = Imm(index)
+        return Instruction(self.op, self.dest, tuple(srcs))
+
+    def __str__(self) -> str:
+        parts = [self.op.value]
+        ops = []
+        if self.dest is not None:
+            ops.append(str(self.dest))
+        ops.extend(str(s) for s in self.srcs)
+        if ops:
+            parts.append(" " + ", ".join(ops))
+        return "".join(parts)
+
+
+def ins(op: Op, dest: Operand | None = None, *srcs: Operand) -> Instruction:
+    """Terse constructor used by the code generators: ``ins(Op.ADD, d, a, b)``."""
+    return Instruction(op, dest, tuple(srcs))
+
+
+__all__ = ["Instruction", "ins", "Reg", "Imm", "Queue", "Label"]

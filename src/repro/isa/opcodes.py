@@ -1,0 +1,182 @@
+"""Opcode definitions for the three instruction streams.
+
+One opcode namespace serves all three processors; legality per processor is
+checked by the processor models (see ``SCALAR_OPS`` / ``ACCESS_OPS`` /
+``EXECUTE_OPS`` below).  The split mirrors the SMA programming model:
+
+* the **scalar baseline** runs a conventional unified stream
+  (ALU + control + ``LOAD``/``STORE``);
+* the **access processor (AP)** runs ALU + control + the structured memory
+  ops (``STREAMLD``, ``STREAMST``, ``GATHER``, ``SCATTER``, ``LDQ``,
+  ``STADDR``) and the queue-coupling ops (``FROMQ``, ``BQNZ``, ``BQEZ``);
+* the **execute processor (EP)** runs ALU + control only, but its ALU
+  operands may name architectural queues (pop on read, push on write).
+
+Arithmetic semantics are defined in :data:`ALU_FUNCS`; both integer and
+floating values flow through the same opcodes (the AP happens to hold
+addresses, the EP data).
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+from typing import Callable
+
+
+class Op(enum.Enum):
+    # --- ALU -----------------------------------------------------------
+    ADD = "add"
+    SUB = "sub"
+    MUL = "mul"
+    DIV = "div"
+    MIN = "min"
+    MAX = "max"
+    MOD = "mod"
+    ABS = "abs"
+    NEG = "neg"
+    SQRT = "sqrt"
+    FLOOR = "floor"
+    MOV = "mov"
+    CMPLT = "cmplt"
+    CMPLE = "cmple"
+    CMPEQ = "cmpeq"
+    CMPNE = "cmpne"
+    SEL = "sel"
+    # --- control -------------------------------------------------------
+    JMP = "jmp"
+    BEQZ = "beqz"
+    BNEZ = "bnez"
+    DECBNZ = "decbnz"
+    NOP = "nop"
+    HALT = "halt"
+    # --- scalar memory ---------------------------------------------------
+    LOAD = "load"
+    STORE = "store"
+    # --- access processor: structured memory ----------------------------
+    STREAMLD = "streamld"   # qdst, base, stride, count
+    STREAMST = "streamst"   # dataq, base, stride, count
+    GATHER = "gather"       # qdst, iqsrc, base, count
+    SCATTER = "scatter"     # dataq, iqsrc, base, count
+    LDQ = "ldq"             # qdst, base, offset
+    STADDR = "staddr"       # dataq, base, offset
+    # --- access processor: queue coupling -------------------------------
+    FROMQ = "fromq"         # reg <- pop(queue)
+    BQNZ = "bqnz"           # pop EBQ, branch if != 0
+    BQEZ = "bqez"           # pop EBQ, branch if == 0
+
+
+@dataclass(frozen=True)
+class OpInfo:
+    """Static operand-shape metadata for an opcode."""
+
+    n_src: int
+    has_dest: bool
+    is_branch: bool = False
+    #: index into ``srcs`` of the branch target, if ``is_branch``.
+    target_index: int = -1
+
+
+OPINFO: dict[Op, OpInfo] = {
+    Op.ADD: OpInfo(2, True),
+    Op.SUB: OpInfo(2, True),
+    Op.MUL: OpInfo(2, True),
+    Op.DIV: OpInfo(2, True),
+    Op.MIN: OpInfo(2, True),
+    Op.MAX: OpInfo(2, True),
+    Op.MOD: OpInfo(2, True),
+    Op.ABS: OpInfo(1, True),
+    Op.NEG: OpInfo(1, True),
+    Op.SQRT: OpInfo(1, True),
+    Op.FLOOR: OpInfo(1, True),
+    Op.MOV: OpInfo(1, True),
+    Op.CMPLT: OpInfo(2, True),
+    Op.CMPLE: OpInfo(2, True),
+    Op.CMPEQ: OpInfo(2, True),
+    Op.CMPNE: OpInfo(2, True),
+    Op.SEL: OpInfo(3, True),
+    Op.JMP: OpInfo(1, False, is_branch=True, target_index=0),
+    Op.BEQZ: OpInfo(2, False, is_branch=True, target_index=1),
+    Op.BNEZ: OpInfo(2, False, is_branch=True, target_index=1),
+    Op.DECBNZ: OpInfo(1, True, is_branch=True, target_index=0),
+    Op.NOP: OpInfo(0, False),
+    Op.HALT: OpInfo(0, False),
+    Op.LOAD: OpInfo(2, True),
+    Op.STORE: OpInfo(3, False),
+    Op.STREAMLD: OpInfo(3, True),
+    Op.STREAMST: OpInfo(4, False),
+    Op.GATHER: OpInfo(3, True),
+    Op.SCATTER: OpInfo(4, False),
+    Op.LDQ: OpInfo(2, True),
+    Op.STADDR: OpInfo(3, False),
+    Op.FROMQ: OpInfo(1, True),
+    Op.BQNZ: OpInfo(1, False, is_branch=True, target_index=0),
+    Op.BQEZ: OpInfo(1, False, is_branch=True, target_index=0),
+}
+
+assert set(OPINFO) == set(Op), "every opcode needs an OPINFO entry"
+
+
+def _div(a: float, b: float) -> float:
+    if b == 0:
+        raise ZeroDivisionError("DIV by zero in simulated program")
+    return a / b
+
+
+def _mod(a: float, b: float) -> float:
+    if b == 0:
+        raise ZeroDivisionError("MOD by zero in simulated program")
+    return a % b
+
+
+#: pure value semantics of the ALU opcodes (shared by all processors and by
+#: the kernel-IR reference interpreter, so differential tests agree exactly).
+ALU_FUNCS: dict[Op, Callable[..., float]] = {
+    Op.ADD: lambda a, b: a + b,
+    Op.SUB: lambda a, b: a - b,
+    Op.MUL: lambda a, b: a * b,
+    Op.DIV: _div,
+    Op.MIN: min,
+    Op.MAX: max,
+    Op.MOD: _mod,
+    Op.ABS: abs,
+    Op.NEG: lambda a: -a,
+    Op.SQRT: lambda a: math.sqrt(a),
+    Op.FLOOR: lambda a: float(math.floor(a)),
+    Op.MOV: lambda a: a,
+    Op.CMPLT: lambda a, b: 1.0 if a < b else 0.0,
+    Op.CMPLE: lambda a, b: 1.0 if a <= b else 0.0,
+    Op.CMPEQ: lambda a, b: 1.0 if a == b else 0.0,
+    Op.CMPNE: lambda a, b: 1.0 if a != b else 0.0,
+    Op.SEL: lambda c, a, b: a if c != 0 else b,
+}
+
+ALU_OPS = frozenset(ALU_FUNCS)
+
+CONTROL_OPS = frozenset(
+    {Op.JMP, Op.BEQZ, Op.BNEZ, Op.DECBNZ, Op.NOP, Op.HALT}
+)
+
+#: opcodes legal in the scalar baseline's unified stream.
+SCALAR_OPS = ALU_OPS | CONTROL_OPS | {Op.LOAD, Op.STORE}
+
+#: opcodes legal in the access processor's stream.
+ACCESS_OPS = (
+    ALU_OPS
+    | CONTROL_OPS
+    | {
+        Op.STREAMLD,
+        Op.STREAMST,
+        Op.GATHER,
+        Op.SCATTER,
+        Op.LDQ,
+        Op.STADDR,
+        Op.FROMQ,
+        Op.BQNZ,
+        Op.BQEZ,
+    }
+)
+
+#: opcodes legal in the execute processor's stream.
+EXECUTE_OPS = ALU_OPS | CONTROL_OPS

@@ -1,0 +1,161 @@
+"""Operand model shared by the scalar, access, and execute instruction sets.
+
+Three operand kinds exist:
+
+* :class:`Reg` — a processor register.  Register files are per-processor
+  (the AP holds integers/addresses, the EP holds floating-point data, the
+  scalar baseline holds both), but the operand object itself is just an
+  index; the textual prefix (``a``/``x``/``r``) is a readability aid.
+* :class:`Imm` — an immediate constant (int or float).
+* :class:`Queue` — an architectural queue endpoint.  Queues are the only
+  coupling between the access and execute processors and the memory
+  system; naming one as a *source* pops it, naming one as a *destination*
+  pushes to it.
+
+Queue namespaces (see :class:`QueueSpace`):
+
+``LQ``   load-data queues, memory → EP               (``lq0`` .. )
+``SDQ``  store-data queues, EP → memory              (``sdq0`` .. )
+``SAQ``  store-address queue, AP → memory            (``saq``)
+``IQ``   index queues, memory → AP stream engine     (``iq0`` .. )
+``EAQ``  data queue, EP → AP (data-dependent address) (``eaq``)
+``EBQ``  branch queue, EP → AP (execute-resolved branches) (``ebq``)
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Union
+
+NUM_REGS = 32
+
+
+class QueueSpace(enum.IntEnum):
+    """Architectural queue namespaces."""
+
+    LQ = 0
+    SDQ = 1
+    SAQ = 2
+    IQ = 3
+    EAQ = 4
+    EBQ = 5
+
+
+@dataclass(frozen=True)
+class Reg:
+    """A register operand, ``index`` in ``[0, NUM_REGS)``."""
+
+    index: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.index < NUM_REGS:
+            raise ValueError(f"register index {self.index} out of range")
+
+    def __str__(self) -> str:  # canonical, prefix-agnostic spelling
+        return f"r{self.index}"
+
+
+@dataclass(frozen=True)
+class Imm:
+    """An immediate operand.  Integers stay integers; floats stay floats."""
+
+    value: Union[int, float]
+
+    def __str__(self) -> str:
+        return f"#{self.value}"
+
+
+@dataclass(frozen=True)
+class Queue:
+    """An architectural queue operand.
+
+    ``space`` selects the namespace, ``index`` the queue within it
+    (always 0 for the singleton SAQ/EAQ/EBQ spaces).
+    """
+
+    space: QueueSpace
+    index: int = 0
+
+    def __post_init__(self) -> None:
+        if self.index < 0:
+            raise ValueError("queue index must be non-negative")
+        if self.space in (QueueSpace.SAQ, QueueSpace.EAQ, QueueSpace.EBQ):
+            if self.index != 0:
+                raise ValueError(f"{self.space.name} is a singleton queue")
+
+    def __str__(self) -> str:
+        if self.space in (QueueSpace.SAQ, QueueSpace.EAQ, QueueSpace.EBQ):
+            return self.space.name.lower()
+        return f"{self.space.name.lower()}{self.index}"
+
+
+@dataclass(frozen=True)
+class Label:
+    """A symbolic branch target; resolved to an ``Imm`` instruction index
+    by the assembler / :meth:`repro.isa.program.Program.finalize`."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+Operand = Union[Reg, Imm, Queue, Label]
+
+# Convenience singletons / constructors -----------------------------------
+
+
+def lq(i: int) -> Queue:
+    """Load-data queue ``i`` (memory → EP)."""
+    return Queue(QueueSpace.LQ, i)
+
+
+def sdq(i: int = 0) -> Queue:
+    """Store-data queue ``i`` (EP → memory)."""
+    return Queue(QueueSpace.SDQ, i)
+
+
+def iq(i: int) -> Queue:
+    """Index queue ``i`` (memory → AP stream engine)."""
+    return Queue(QueueSpace.IQ, i)
+
+
+SAQ = Queue(QueueSpace.SAQ)
+EAQ = Queue(QueueSpace.EAQ)
+EBQ = Queue(QueueSpace.EBQ)
+
+
+def parse_operand(text: str) -> Operand:
+    """Parse one textual operand (as written in assembly) into an object.
+
+    Accepted forms: ``r3``/``a3``/``x3`` (registers), ``#1.5`` or a bare
+    number (immediates), ``lq0``/``sdq1``/``iq2``/``saq``/``eaq``/``ebq``
+    (queues), anything else is a :class:`Label`.
+    """
+    t = text.strip().lower()
+    if not t:
+        raise ValueError("empty operand")
+    if t[0] in "rax" and t[1:].isdigit():
+        return Reg(int(t[1:]))
+    if t == "saq":
+        return SAQ
+    if t == "eaq":
+        return EAQ
+    if t == "ebq":
+        return EBQ
+    for space in ("lq", "sdq", "iq"):
+        if t.startswith(space) and t[len(space):].isdigit():
+            return Queue(QueueSpace[space.upper()], int(t[len(space):]))
+    body = t[1:] if t[0] == "#" else t
+    try:
+        return Imm(int(body, 0))
+    except ValueError:
+        pass
+    try:
+        return Imm(float(body))
+    except ValueError:
+        pass
+    if t[0] == "#":
+        raise ValueError(f"bad immediate {text!r}")
+    return Label(text.strip())

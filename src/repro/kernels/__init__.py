@@ -1,0 +1,77 @@
+"""Kernel IR, compilers, reference interpreter, and the workload suite."""
+
+from .ir import (
+    Affine,
+    ArrayDecl,
+    Assign,
+    BinOp,
+    Cmp,
+    Computed,
+    Const,
+    Expr,
+    Indirect,
+    Kernel,
+    Loop,
+    Reduce,
+    Ref,
+    Select,
+    Stmt,
+    UnOp,
+    expr_refs,
+    loop_nest,
+    validate_kernel,
+)
+from .lang import ParseError, parse_kernel
+from .layout import Layout, layout_arrays
+from .lower_scalar import LoweredScalar, lower_scalar
+from .lower_sma import LoweredSMA, SMALoweringInfo, lower_sma
+from .lower_vector import LoweredVector, VectorizationError, lower_vector
+from .reference import ReferenceInterpreter, run_reference
+from .suite import (
+    KernelSpec,
+    all_kernels,
+    get_kernel,
+    kernel_names,
+    kernels_in_category,
+)
+
+__all__ = [
+    "Affine",
+    "ArrayDecl",
+    "Assign",
+    "BinOp",
+    "Cmp",
+    "Computed",
+    "Const",
+    "Expr",
+    "Indirect",
+    "Kernel",
+    "KernelSpec",
+    "Layout",
+    "ParseError",
+    "Loop",
+    "LoweredSMA",
+    "LoweredVector",
+    "LoweredScalar",
+    "Reduce",
+    "Ref",
+    "ReferenceInterpreter",
+    "SMALoweringInfo",
+    "Select",
+    "Stmt",
+    "UnOp",
+    "all_kernels",
+    "expr_refs",
+    "get_kernel",
+    "kernel_names",
+    "kernels_in_category",
+    "layout_arrays",
+    "loop_nest",
+    "parse_kernel",
+    "lower_scalar",
+    "lower_sma",
+    "lower_vector",
+    "run_reference",
+    "VectorizationError",
+    "validate_kernel",
+]

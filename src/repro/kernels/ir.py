@@ -1,0 +1,422 @@
+"""Loop-kernel intermediate representation.
+
+Workloads are written once, declaratively, in this small IR and compiled to
+*both* target machines (``lower_scalar``, ``lower_sma``) as well as executed
+directly by a NumPy-backed reference interpreter (``reference``).  The IR is
+deliberately shaped like the scientific inner loops the 1983 evaluation era
+used (Lawrence Livermore Loops): perfect loop nests of depth ≤ 2 over 1-D
+arrays with affine, indirect (index-array) or computed (value-dependent)
+subscripts, reductions, and selects.
+
+Grammar::
+
+    Kernel  := name, arrays, body=(Loop ...)
+    Loop    := var, count, start, body=(Loop | Assign | Reduce ...)
+    Assign  := Ref <- Expr
+    Reduce  := acc(op) over Expr, final store to Ref (loop-invariant cell)
+    Expr    := Const | Ref | BinOp | UnOp | Select(Cmp, Expr, Expr)
+    Index   := Affine({var: coeff}, offset)
+             | Indirect(Ref)          # A[B[affine]]   (structured gather)
+             | Computed(Expr)         # A[f(values)]   (loss of decoupling)
+
+Design note: subscripts of ``Indirect``/``Computed`` index *values* come
+from float64 memory; they must be integral at run time (the generators
+produce integer-valued arrays / expressions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Mapping, Union
+
+from ..errors import KernelError
+
+# ---------------------------------------------------------------------------
+# index expressions
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Affine:
+    """``sum(coeff * loop_var) + offset``; coeffs maps var name -> int."""
+
+    coeffs: tuple[tuple[str, int], ...] = ()
+    offset: int = 0
+
+    @staticmethod
+    def of(offset: int = 0, **coeffs: int) -> "Affine":
+        return Affine(tuple(sorted(coeffs.items())), offset)
+
+    def coeff(self, var: str) -> int:
+        for name, c in self.coeffs:
+            if name == var:
+                return c
+        return 0
+
+    def shifted(self, delta: int) -> "Affine":
+        return Affine(self.coeffs, self.offset + delta)
+
+    def evaluate(self, env: Mapping[str, int]) -> int:
+        return self.offset + sum(c * env[v] for v, c in self.coeffs)
+
+    def __str__(self) -> str:
+        parts = [f"{c}*{v}" if c != 1 else v for v, c in self.coeffs]
+        if self.offset or not parts:
+            parts.append(str(self.offset))
+        return "+".join(parts)
+
+
+@dataclass(frozen=True)
+class Indirect:
+    """Subscript loaded from another array: ``A[ B[affine] ]``."""
+
+    ref: "Ref"
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.ref.index, Affine):
+            raise KernelError("indirect subscript must itself be affine")
+
+    def __str__(self) -> str:
+        return str(self.ref)
+
+
+@dataclass(frozen=True)
+class Computed:
+    """Subscript computed from data values: ``A[ f(...) ]``.
+
+    On the SMA machine this forces the execute processor to send each
+    address to the access processor — a loss-of-decoupling pattern.
+    """
+
+    expr: "Expr"
+
+    def __str__(self) -> str:
+        return f"<{self.expr}>"
+
+
+Index = Union[Affine, Indirect, Computed]
+
+# ---------------------------------------------------------------------------
+# value expressions
+# ---------------------------------------------------------------------------
+
+BINOPS = ("+", "-", "*", "/", "min", "max", "mod")
+UNOPS = ("abs", "neg", "sqrt", "floor")
+CMPOPS = ("<", "<=", "==", "!=")
+REDUCE_OPS = ("+", "min", "max")
+
+
+@dataclass(frozen=True)
+class Const:
+    value: float
+
+    def __str__(self) -> str:
+        return repr(self.value)
+
+
+@dataclass(frozen=True)
+class Ref:
+    """A subscripted array read (as Expr) or write target (in Assign)."""
+
+    array: str
+    index: Index
+
+    def __str__(self) -> str:
+        return f"{self.array}[{self.index}]"
+
+
+@dataclass(frozen=True)
+class BinOp:
+    op: str
+    lhs: "Expr"
+    rhs: "Expr"
+
+    def __post_init__(self) -> None:
+        if self.op not in BINOPS:
+            raise KernelError(f"unknown binary op {self.op!r}")
+
+    def __str__(self) -> str:
+        return f"({self.lhs} {self.op} {self.rhs})"
+
+
+@dataclass(frozen=True)
+class UnOp:
+    op: str
+    operand: "Expr"
+
+    def __post_init__(self) -> None:
+        if self.op not in UNOPS:
+            raise KernelError(f"unknown unary op {self.op!r}")
+
+    def __str__(self) -> str:
+        return f"{self.op}({self.operand})"
+
+
+@dataclass(frozen=True)
+class Cmp:
+    op: str
+    lhs: "Expr"
+    rhs: "Expr"
+
+    def __post_init__(self) -> None:
+        if self.op not in CMPOPS:
+            raise KernelError(f"unknown comparison {self.op!r}")
+
+    def __str__(self) -> str:
+        return f"({self.lhs} {self.op} {self.rhs})"
+
+
+@dataclass(frozen=True)
+class Select:
+    """``iftrue if cond else iffalse`` — both arms always evaluated
+    (compiled to a conditional-select, never a branch)."""
+
+    cond: Cmp
+    iftrue: "Expr"
+    iffalse: "Expr"
+
+    def __str__(self) -> str:
+        return f"({self.iftrue} if {self.cond} else {self.iffalse})"
+
+
+Expr = Union[Const, Ref, BinOp, UnOp, Select]
+
+# ---------------------------------------------------------------------------
+# statements
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Assign:
+    dest: Ref
+    expr: Expr
+
+    def __str__(self) -> str:
+        return f"{self.dest} = {self.expr}"
+
+
+@dataclass(frozen=True)
+class Reduce:
+    """Accumulate ``expr`` with ``op`` over the *innermost enclosing
+    loop*: the accumulator resets to ``init`` at each entry of that loop
+    and the result is stored to ``dest`` at each exit.
+
+    ``dest`` must be affine and independent of the innermost loop
+    variable; it may use outer-loop variables — that is what expresses
+    per-row reductions like ``y[j] = Σ_i A[j·n+i]·x[i]`` (matvec).
+    For a 1-deep nest this degenerates to the classic whole-loop
+    reduction into a fixed cell.
+    """
+
+    op: str
+    dest: Ref
+    expr: Expr
+    init: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.op not in REDUCE_OPS:
+            raise KernelError(f"unknown reduction op {self.op!r}")
+        if not isinstance(self.dest.index, Affine):
+            raise KernelError("reduction target subscript must be affine")
+
+    def __str__(self) -> str:
+        return f"{self.dest} {self.op}= {self.expr}  (init {self.init})"
+
+
+@dataclass(frozen=True)
+class Loop:
+    var: str
+    count: int
+    body: tuple["Stmt", ...]
+    start: int = 0
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise KernelError(f"loop {self.var!r} count must be >= 1")
+        if not self.body:
+            raise KernelError(f"loop {self.var!r} has an empty body")
+
+    def __str__(self) -> str:
+        hdr = f"for {self.var} in [{self.start}, {self.start + self.count}):"
+        body = "\n".join("  " + line for s in self.body
+                         for line in str(s).splitlines())
+        return f"{hdr}\n{body}"
+
+
+Stmt = Union[Assign, Reduce, Loop]
+
+# ---------------------------------------------------------------------------
+# kernels
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ArrayDecl:
+    name: str
+    size: int
+
+    def __post_init__(self) -> None:
+        if self.size < 1:
+            raise KernelError(f"array {self.name!r} must have size >= 1")
+
+
+@dataclass(frozen=True)
+class Kernel:
+    """A complete workload: array declarations plus a statement list."""
+
+    name: str
+    arrays: tuple[ArrayDecl, ...]
+    body: tuple[Stmt, ...]
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        validate_kernel(self)
+
+    def array(self, name: str) -> ArrayDecl:
+        for a in self.arrays:
+            if a.name == name:
+                return a
+        raise KernelError(f"unknown array {name!r} in kernel {self.name!r}")
+
+    def pretty(self) -> str:
+        decls = ", ".join(f"{a.name}[{a.size}]" for a in self.arrays)
+        body = "\n".join(str(s) for s in self.body)
+        return f"kernel {self.name}({decls}):\n{body}"
+
+
+# ---------------------------------------------------------------------------
+# traversal + validation
+# ---------------------------------------------------------------------------
+
+
+def expr_refs(expr: Expr) -> Iterator[Ref]:
+    """Yield every array Ref read by ``expr`` (including subscript refs
+    inside Indirect/Computed indices)."""
+    if isinstance(expr, Ref):
+        yield expr
+        if isinstance(expr.index, Indirect):
+            yield from expr_refs(expr.index.ref)
+        elif isinstance(expr.index, Computed):
+            yield from expr_refs(expr.index.expr)
+    elif isinstance(expr, BinOp):
+        yield from expr_refs(expr.lhs)
+        yield from expr_refs(expr.rhs)
+    elif isinstance(expr, UnOp):
+        yield from expr_refs(expr.operand)
+    elif isinstance(expr, Select):
+        yield from expr_refs(expr.cond.lhs)
+        yield from expr_refs(expr.cond.rhs)
+        yield from expr_refs(expr.iftrue)
+        yield from expr_refs(expr.iffalse)
+    elif isinstance(expr, Const):
+        return
+    else:
+        raise KernelError(f"unknown expression node {expr!r}")
+
+
+def stmt_read_refs(stmt: Stmt) -> Iterator[Ref]:
+    """Refs read by a (non-loop) statement, including an indirect/computed
+    subscript of the *destination*."""
+    if isinstance(stmt, Assign):
+        yield from expr_refs(stmt.expr)
+        if isinstance(stmt.dest.index, Indirect):
+            yield from expr_refs(stmt.dest.index.ref)
+        elif isinstance(stmt.dest.index, Computed):
+            yield from expr_refs(stmt.dest.index.expr)
+    elif isinstance(stmt, Reduce):
+        yield from expr_refs(stmt.expr)
+    else:
+        raise KernelError(f"stmt_read_refs on loop")
+
+
+def loop_nest(kernel: Kernel) -> list[tuple[Loop, ...]]:
+    """Return the list of loop nests (outer..inner chains) in the kernel."""
+    nests: list[tuple[Loop, ...]] = []
+
+    def walk(stmt: Stmt, chain: tuple[Loop, ...]) -> None:
+        if isinstance(stmt, Loop):
+            inner = chain + (stmt,)
+            if any(isinstance(s, Loop) for s in stmt.body):
+                for s in stmt.body:
+                    walk(s, inner)
+            else:
+                nests.append(inner)
+        # plain statements contribute no nest
+
+    for stmt in kernel.body:
+        walk(stmt, ())
+    return nests
+
+
+def validate_kernel(kernel: Kernel) -> None:
+    """Structural checks shared by all consumers.
+
+    * top-level statements must be loops;
+    * loop nests at most 2 deep, loop variables unique within a nest;
+    * a loop containing a loop contains only loops (perfect-ish nests);
+    * every Ref names a declared array; affine subscript vars must be
+      bound by an enclosing loop.
+    """
+    names = [a.name for a in kernel.arrays]
+    if len(set(names)) != len(names):
+        raise KernelError(f"duplicate array declarations in {kernel.name!r}")
+    declared = set(names)
+
+    def check_index(index: Index, bound: set[str]) -> None:
+        if isinstance(index, Affine):
+            for var, _ in index.coeffs:
+                if var not in bound:
+                    raise KernelError(f"unbound loop var {var!r}")
+        elif isinstance(index, Indirect):
+            check_ref(index.ref, bound)
+        elif isinstance(index, Computed):
+            check_expr(index.expr, bound)
+        else:
+            raise KernelError(f"unknown index {index!r}")
+
+    def check_ref(ref: Ref, bound: set[str]) -> None:
+        if ref.array not in declared:
+            raise KernelError(
+                f"undeclared array {ref.array!r} in kernel {kernel.name!r}"
+            )
+        check_index(ref.index, bound)
+
+    def check_expr(expr: Expr, bound: set[str]) -> None:
+        for ref in expr_refs(expr):
+            check_ref(ref, bound)
+
+    def walk(stmt: Stmt, bound: set[str], depth: int,
+             innermost: str | None) -> None:
+        if isinstance(stmt, Loop):
+            if depth >= 2:
+                raise KernelError("loop nests deeper than 2 are unsupported")
+            if stmt.var in bound:
+                raise KernelError(f"shadowed loop var {stmt.var!r}")
+            kinds = {isinstance(s, Loop) for s in stmt.body}
+            if kinds == {True, False}:
+                raise KernelError(
+                    "a loop must contain either loops or statements, not both"
+                )
+            for s in stmt.body:
+                walk(s, bound | {stmt.var}, depth + 1, stmt.var)
+        elif isinstance(stmt, Assign):
+            check_ref(stmt.dest, bound)
+            for r in stmt_read_refs(stmt):
+                check_ref(r, bound)
+        elif isinstance(stmt, Reduce):
+            check_ref(stmt.dest, bound)
+            check_expr(stmt.expr, bound)
+            dest_index = stmt.dest.index
+            assert isinstance(dest_index, Affine)
+            if innermost is not None and dest_index.coeff(innermost):
+                raise KernelError(
+                    "reduction target may not use the innermost loop "
+                    f"variable {innermost!r}"
+                )
+        else:
+            raise KernelError(f"unknown statement {stmt!r}")
+
+    for stmt in kernel.body:
+        if not isinstance(stmt, Loop):
+            raise KernelError("kernel body must consist of loops")
+        walk(stmt, set(), 0, None)

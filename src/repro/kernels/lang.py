@@ -1,0 +1,595 @@
+"""A small kernel source language (front-end for the loop IR).
+
+Lets workloads be written as text instead of hand-built IR nodes::
+
+    kernel hydro(x[n], y[n], z[n + 11]):
+        for k in 0 .. n:
+            x[k] = 0.84 + y[k] * (1.1 * z[k + 10] + 0.37 * z[k + 11])
+
+compiled with ``parse_kernel(source, n=256)`` — every free name in an
+array-size or loop-bound expression must be bound by a keyword parameter.
+
+## Grammar
+
+::
+
+    kernel    := "kernel" NAME "(" decl ("," decl)* ")" ":" NEWLINE block
+    decl      := NAME "[" const_expr "]"
+    block     := INDENT stmt+ DEDENT
+    stmt      := for | assign | reduce
+    for       := "for" NAME "in" const_expr ".." const_expr ":" NEWLINE block
+    assign    := ref "=" expr
+    reduce    := ref ("+=" | "min=" | "max=") expr ("init" number)?
+    expr      := sum (("<" | "<=" | "==" | "!=") sum)?       -- cmp only
+                                                       inside select(...)
+    sum       := term (("+" | "-") term)*
+    term      := factor (("*" | "/" | "%") factor)*
+    factor    := "-" factor | primary
+    primary   := number | ref | "(" expr ")"
+               | ("abs"|"sqrt"|"floor") "(" expr ")"
+               | ("min"|"max") "(" expr "," expr ")"
+               | "select" "(" expr cmpop expr "," expr "," expr ")"
+    ref       := NAME "[" expr "]"
+
+## Subscript classification
+
+A subscript expression is analysed after parsing:
+
+* affine in the enclosing loop variables (``k``, ``2*k + 3``, ``j*34 + i``)
+  → :class:`~repro.kernels.ir.Affine`;
+* exactly one array reference with an affine subscript (``ix[k]``)
+  → :class:`~repro.kernels.ir.Indirect` (structured gather/scatter);
+* anything else (``floor(x[i] * 997.0) % 64``)
+  → :class:`~repro.kernels.ir.Computed` — a loss-of-decoupling access on
+  the SMA machine.
+
+Blocks are indentation-delimited (any consistent widening indent).
+Comments run from ``#`` to end of line.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from ..errors import KernelError
+from .ir import (
+    Affine,
+    ArrayDecl,
+    Assign,
+    BinOp,
+    Cmp,
+    Computed,
+    Const,
+    Expr,
+    Indirect,
+    Kernel,
+    Loop,
+    Reduce,
+    Ref,
+    Select,
+    Stmt,
+    UnOp,
+)
+
+
+class ParseError(KernelError):
+    """Syntax or semantic error in kernel source, with a line number."""
+
+    def __init__(self, message: str, line: int):
+        super().__init__(f"line {line}: {message}")
+        self.line = line
+
+
+# ---------------------------------------------------------------------------
+# tokenizer
+# ---------------------------------------------------------------------------
+
+_TOKEN_RE = re.compile(
+    r"""
+      (?P<number>\d+\.\d*(?:[eE][+-]?\d+)?|\.\d+(?:[eE][+-]?\d+)?
+                 |\d+(?:[eE][+-]?\d+)?)
+    | (?P<op>\.\.|\+=|min=|max=|<=|==|!=|[-+*/%<>=(),:\[\]])
+    | (?P<name>[A-Za-z_][A-Za-z0-9_]*)
+    | (?P<ws>[ \t]+)
+    """,
+    re.VERBOSE,
+)
+# note: the op alternative precedes name so the reduction operators
+# ``min=``/``max=`` win over the bare names ``min``/``max``; a name that
+# merely *starts* with those letters ("minimum") falls through to the name
+# branch because the op branch requires the literal '='.
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # "number" | "name" | "op" | "end"
+    text: str
+    line: int
+
+
+def _tokenize_line(text: str, line_no: int) -> list[Token]:
+    tokens: list[Token] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            raise ParseError(f"unexpected character {text[pos]!r}", line_no)
+        pos = match.end()
+        kind = match.lastgroup
+        if kind != "ws":
+            tokens.append(Token(kind, match.group(), line_no))
+    tokens.append(Token("end", "", line_no))
+    return tokens
+
+
+@dataclass
+class _Line:
+    indent: int
+    tokens: list[Token]
+    number: int
+
+
+def _logical_lines(source: str) -> list[_Line]:
+    lines: list[_Line] = []
+    for number, raw in enumerate(source.splitlines(), start=1):
+        body = raw.split("#", 1)[0].rstrip()
+        if not body.strip():
+            continue
+        stripped = body.lstrip(" \t")
+        indent = len(body) - len(stripped)
+        lines.append(_Line(indent, _tokenize_line(stripped, number), number))
+    return lines
+
+
+# ---------------------------------------------------------------------------
+# expression parsing (over one line's token list)
+# ---------------------------------------------------------------------------
+
+_UNARY_FUNCS = {"abs", "sqrt", "floor"}
+_BINARY_FUNCS = {"min", "max"}
+_CMP_OPS = {"<", "<=", "==", "!="}
+
+
+class _ExprParser:
+    """Recursive-descent parser over one statement's tokens."""
+
+    def __init__(self, tokens: list[Token]):
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token plumbing ------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> Token:
+        token = self.current
+        if token.kind != "end":
+            self.pos += 1
+        return token
+
+    def accept(self, text: str) -> bool:
+        if self.current.kind == "op" and self.current.text == text:
+            self.advance()
+            return True
+        return False
+
+    def expect(self, text: str) -> None:
+        if not self.accept(text):
+            raise ParseError(
+                f"expected {text!r}, found {self.current.text or 'end of line'!r}",
+                self.current.line,
+            )
+
+    def at_end(self) -> bool:
+        return self.current.kind == "end"
+
+    # -- grammar ----------------------------------------------------------
+
+    def parse_expr(self) -> Expr:
+        return self._sum()
+
+    def _sum(self) -> Expr:
+        node = self._term()
+        while self.current.kind == "op" and self.current.text in "+-":
+            op = self.advance().text
+            node = BinOp(op, node, self._term())
+        return node
+
+    def _term(self) -> Expr:
+        node = self._factor()
+        while self.current.kind == "op" and self.current.text in "*/%":
+            op = self.advance().text
+            node = BinOp("mod" if op == "%" else op, node, self._factor())
+        return node
+
+    def _factor(self) -> Expr:
+        if self.accept("-"):
+            operand = self._factor()
+            if isinstance(operand, Const):
+                return Const(-operand.value)
+            return UnOp("neg", operand)
+        return self._primary()
+
+    def _primary(self) -> Expr:
+        token = self.current
+        if token.kind == "number":
+            self.advance()
+            return Const(float(token.text))
+        if token.kind == "name":
+            name = self.advance().text
+            if name in _UNARY_FUNCS:
+                self.expect("(")
+                arg = self.parse_expr()
+                self.expect(")")
+                return UnOp(name, arg)
+            if name in _BINARY_FUNCS:
+                self.expect("(")
+                a = self.parse_expr()
+                self.expect(",")
+                b = self.parse_expr()
+                self.expect(")")
+                return BinOp(name, a, b)
+            if name == "select":
+                return self._select()
+            if self.accept("["):
+                index = self.parse_expr()
+                self.expect("]")
+                return Ref(name, _RAW_INDEX(index))
+            # a bare name: stands for a loop variable inside subscripts;
+            # represented as a pseudo-ref resolved by classification
+            return _VarExpr(name)
+        if self.accept("("):
+            inner = self.parse_expr()
+            self.expect(")")
+            return inner
+        raise ParseError(
+            f"expected an expression, found {token.text or 'end of line'!r}",
+            token.line,
+        )
+
+    def _select(self) -> Expr:
+        self.expect("(")
+        lhs = self.parse_expr()
+        token = self.current
+        if token.kind != "op" or token.text not in _CMP_OPS:
+            raise ParseError(
+                "select(...) needs a comparison as its first argument",
+                token.line,
+            )
+        op = self.advance().text
+        rhs = self.parse_expr()
+        self.expect(",")
+        iftrue = self.parse_expr()
+        self.expect(",")
+        iffalse = self.parse_expr()
+        self.expect(")")
+        return Select(Cmp(op, lhs, rhs), iftrue, iffalse)
+
+
+@dataclass(frozen=True)
+class _VarExpr:
+    """A bare name inside an expression — legal only where it can resolve
+    to a loop variable during subscript classification."""
+
+    name: str
+
+
+def _RAW_INDEX(expr) -> Computed:
+    """Subscripts are parsed as general expressions and classified later;
+    park them in a Computed wrapper that classification unwraps.
+
+    Wrapped in a plain ``Computed`` so that ``Ref`` construction succeeds;
+    the classifier replaces it before the Kernel is built.
+    """
+    return Computed(expr)  # type: ignore[arg-type]
+
+
+# ---------------------------------------------------------------------------
+# subscript classification
+# ---------------------------------------------------------------------------
+
+
+def _as_affine(expr, loop_vars: set[str],
+               params: dict[str, int]) -> Affine | None:
+    """Try to express ``expr`` as an affine form over ``loop_vars``
+    (size parameters act as integer constants)."""
+
+    def walk(node) -> dict[str, float] | None:
+        # returns {"": const, var: coeff, ...} or None if non-affine
+        if isinstance(node, Const):
+            return {"": float(node.value)}
+        if isinstance(node, _VarExpr):
+            if node.name in loop_vars:
+                return {node.name: 1.0}
+            if node.name in params:
+                return {"": float(params[node.name])}
+            return None
+        if isinstance(node, UnOp) and node.op == "neg":
+            inner = walk(node.operand)
+            if inner is None:
+                return None
+            return {k: -v for k, v in inner.items()}
+        if isinstance(node, BinOp):
+            left = walk(node.lhs)
+            right = walk(node.rhs)
+            if node.op in ("+", "-") and left is not None and right is not None:
+                sign = 1.0 if node.op == "+" else -1.0
+                merged = dict(left)
+                for key, value in right.items():
+                    merged[key] = merged.get(key, 0.0) + sign * value
+                return merged
+            if node.op == "*" and left is not None and right is not None:
+                # one side must be a pure constant
+                for const_side, var_side in ((left, right), (right, left)):
+                    if set(const_side) <= {""}:
+                        scale = const_side.get("", 0.0)
+                        return {
+                            key: value * scale
+                            for key, value in var_side.items()
+                        }
+                return None
+            return None
+        return None
+
+    form = walk(expr)
+    if form is None:
+        return None
+    offset = form.pop("", 0.0)
+    if offset != int(offset) or any(v != int(v) for v in form.values()):
+        return None
+    coeffs = {var: int(coeff) for var, coeff in form.items() if coeff}
+    return Affine.of(int(offset), **coeffs)
+
+
+def _strip_vars(expr, loop_vars: set[str], params: dict[str, int],
+                line: int) -> Expr:
+    """Replace parse-time nodes inside a *value* expression: substitute
+    size parameters as constants, classify every subscript, and reject
+    bare loop-variable uses as values."""
+    if isinstance(expr, _VarExpr):
+        if expr.name in params and expr.name not in loop_vars:
+            return Const(float(params[expr.name]))
+        raise ParseError(
+            f"loop variable {expr.name!r} cannot be used as a value "
+            "(only inside subscripts)",
+            line,
+        )
+    if isinstance(expr, Const):
+        return expr
+    if isinstance(expr, Ref):
+        return _classify_ref(expr, loop_vars, params, line)
+    if isinstance(expr, BinOp):
+        return BinOp(
+            expr.op,
+            _strip_vars(expr.lhs, loop_vars, params, line),
+            _strip_vars(expr.rhs, loop_vars, params, line),
+        )
+    if isinstance(expr, UnOp):
+        return UnOp(expr.op,
+                    _strip_vars(expr.operand, loop_vars, params, line))
+    if isinstance(expr, Select):
+        return Select(
+            Cmp(
+                expr.cond.op,
+                _strip_vars(expr.cond.lhs, loop_vars, params, line),
+                _strip_vars(expr.cond.rhs, loop_vars, params, line),
+            ),
+            _strip_vars(expr.iftrue, loop_vars, params, line),
+            _strip_vars(expr.iffalse, loop_vars, params, line),
+        )
+    raise ParseError(f"unsupported expression node {expr!r}", line)
+
+
+def _classify_ref(ref: Ref, loop_vars: set[str], params: dict[str, int],
+                  line: int) -> Ref:
+    raw = ref.index
+    assert isinstance(raw, Computed), "parser wraps all subscripts"
+    subscript = raw.expr
+    affine = _as_affine(subscript, loop_vars, params)
+    if affine is not None:
+        return Ref(ref.array, affine)
+    if isinstance(subscript, Ref):
+        inner = _classify_ref(subscript, loop_vars, params, line)
+        if isinstance(inner.index, Affine):
+            return Ref(ref.array, Indirect(inner))
+        raise ParseError(
+            f"indirect subscript {inner} must itself be affine", line
+        )
+    return Ref(ref.array,
+               Computed(_strip_vars(subscript, loop_vars, params, line)))
+
+
+# ---------------------------------------------------------------------------
+# constant expressions (sizes and bounds)
+# ---------------------------------------------------------------------------
+
+
+def _const_eval(expr, params: dict[str, int], line: int) -> int:
+    if isinstance(expr, Const):
+        value = expr.value
+    elif isinstance(expr, _VarExpr):
+        if expr.name not in params:
+            raise ParseError(
+                f"unknown size parameter {expr.name!r} (pass it as a "
+                "keyword to parse_kernel)",
+                line,
+            )
+        value = params[expr.name]
+    elif isinstance(expr, UnOp) and expr.op == "neg":
+        value = -_const_eval(expr.operand, params, line)
+    elif isinstance(expr, BinOp) and expr.op in ("+", "-", "*"):
+        left = _const_eval(expr.lhs, params, line)
+        right = _const_eval(expr.rhs, params, line)
+        value = {"+": left + right, "-": left - right, "*": left * right}[
+            expr.op
+        ]
+    else:
+        raise ParseError("sizes and bounds must be constant expressions",
+                         line)
+    if value != int(value):
+        raise ParseError(f"non-integer constant {value}", line)
+    return int(value)
+
+
+# ---------------------------------------------------------------------------
+# statement / kernel parsing
+# ---------------------------------------------------------------------------
+
+
+class _KernelParser:
+    def __init__(self, source: str, params: dict[str, int]):
+        self.lines = _logical_lines(source)
+        self.params = params
+        self.pos = 0
+
+    def _peek(self) -> _Line | None:
+        return self.lines[self.pos] if self.pos < len(self.lines) else None
+
+    def parse(self) -> Kernel:
+        header = self._peek()
+        if header is None:
+            raise ParseError("empty kernel source", 1)
+        name, arrays = self._parse_header(header)
+        self.pos += 1
+        body = self._parse_block(header.indent, set())
+        if self._peek() is not None:
+            extra = self._peek()
+            raise ParseError("trailing content after kernel body",
+                             extra.number)
+        for stmt in body:
+            if not isinstance(stmt, Loop):
+                raise ParseError(
+                    "kernel body must consist of for-loops", header.number
+                )
+        return Kernel(name, arrays, tuple(body))
+
+    def _parse_header(self, line: _Line) -> tuple[str, tuple[ArrayDecl, ...]]:
+        p = _ExprParser(line.tokens)
+        if not (p.current.kind == "name" and p.current.text == "kernel"):
+            raise ParseError("kernel source must start with 'kernel'",
+                             line.number)
+        p.advance()
+        if p.current.kind != "name":
+            raise ParseError("expected kernel name", line.number)
+        name = p.advance().text
+        p.expect("(")
+        decls: list[ArrayDecl] = []
+        while True:
+            if p.current.kind != "name":
+                raise ParseError("expected array declaration", line.number)
+            array = p.advance().text
+            p.expect("[")
+            size = _const_eval(p.parse_expr(), self.params, line.number)
+            p.expect("]")
+            decls.append(ArrayDecl(array, size))
+            if not p.accept(","):
+                break
+        p.expect(")")
+        p.expect(":")
+        if not p.at_end():
+            raise ParseError("unexpected tokens after ':'", line.number)
+        return name, tuple(decls)
+
+    def _parse_block(self, parent_indent: int, loop_vars: set[str]) -> list[Stmt]:
+        first = self._peek()
+        if first is None or first.indent <= parent_indent:
+            line = first.number if first else self.lines[-1].number
+            raise ParseError("expected an indented block", line)
+        block_indent = first.indent
+        stmts: list[Stmt] = []
+        while True:
+            line = self._peek()
+            if line is None or line.indent < block_indent:
+                break
+            if line.indent > block_indent:
+                raise ParseError("unexpected indent", line.number)
+            stmts.append(self._parse_stmt(line, loop_vars))
+        return stmts
+
+    def _parse_stmt(self, line: _Line, loop_vars: set[str]) -> Stmt:
+        p = _ExprParser(line.tokens)
+        if p.current.kind == "name" and p.current.text == "for":
+            return self._parse_for(line, p, loop_vars)
+        self.pos += 1
+        # assignment or reduction: starts with a ref
+        if p.current.kind != "name":
+            raise ParseError("expected a statement", line.number)
+        target_name = p.advance().text
+        p.expect("[")
+        subscript = p.parse_expr()
+        p.expect("]")
+        dest_raw = Ref(target_name, _RAW_INDEX(subscript))
+        token = p.current
+        if token.kind == "op" and token.text in ("+=", "min=", "max="):
+            op = {"+=": "+", "min=": "min", "max=": "max"}[p.advance().text]
+            expr = p.parse_expr()
+            init = 0.0
+            if p.current.kind == "name" and p.current.text == "init":
+                p.advance()
+                init_expr = p._factor()
+                if isinstance(init_expr, Const):
+                    init = float(init_expr.value)
+                else:
+                    raise ParseError("init must be a number", line.number)
+            if not p.at_end():
+                raise ParseError("trailing tokens after reduction",
+                                 line.number)
+            dest = _classify_ref(dest_raw, loop_vars, self.params, line.number)
+            if not isinstance(dest.index, Affine):
+                raise ParseError("reduction target subscript must be affine",
+                                 line.number)
+            # use of the innermost loop variable is rejected by kernel
+            # validation (it has the nest context); outer-var targets are
+            # the per-row reduction form
+            return Reduce(
+                op, dest,
+                _strip_vars(expr, loop_vars, self.params, line.number),
+                init,
+            )
+        p.expect("=")
+        expr = p.parse_expr()
+        if not p.at_end():
+            raise ParseError("trailing tokens after assignment", line.number)
+        return Assign(
+            _classify_ref(dest_raw, loop_vars, self.params, line.number),
+            _strip_vars(expr, loop_vars, self.params, line.number),
+        )
+
+    def _parse_for(self, line: _Line, p: _ExprParser,
+                   loop_vars: set[str]) -> Loop:
+        p.advance()  # 'for'
+        if p.current.kind != "name":
+            raise ParseError("expected loop variable", line.number)
+        var = p.advance().text
+        if var in loop_vars:
+            raise ParseError(f"loop variable {var!r} shadows an outer loop",
+                             line.number)
+        if not (p.current.kind == "name" and p.current.text == "in"):
+            raise ParseError("expected 'in'", line.number)
+        p.advance()
+        start = _const_eval(p.parse_expr(), self.params, line.number)
+        p.expect("..")
+        stop = _const_eval(p.parse_expr(), self.params, line.number)
+        p.expect(":")
+        if not p.at_end():
+            raise ParseError("unexpected tokens after ':'", line.number)
+        if stop <= start:
+            raise ParseError(
+                f"empty loop range {start}..{stop}", line.number
+            )
+        self.pos += 1
+        body = self._parse_block(line.indent, loop_vars | {var})
+        return Loop(var, stop - start, tuple(body), start=start)
+
+
+def parse_kernel(source: str, **params: int) -> Kernel:
+    """Parse kernel source text into IR.
+
+    Keyword arguments bind the free names used in array sizes and loop
+    bounds (typically just ``n``).  Raises :class:`ParseError` (a
+    :class:`~repro.errors.KernelError`) with a line number on any problem.
+    """
+    return _KernelParser(source, dict(params)).parse()

@@ -1,0 +1,34 @@
+"""Memory layout shared by all lowerings of a kernel.
+
+Arrays are packed contiguously starting at ``base`` (default 16, leaving
+low memory free for scratch).  Both code generators and the workload
+runner use the same function, so the reference results can be compared
+against machine memory word-for-word.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .ir import Kernel
+
+
+@dataclass(frozen=True)
+class Layout:
+    """Base address of every kernel array plus the total footprint."""
+
+    bases: dict[str, int]
+    end: int
+
+    def base(self, array: str) -> int:
+        return self.bases[array]
+
+
+def layout_arrays(kernel: Kernel, base: int = 16) -> Layout:
+    """Assign consecutive base addresses to the kernel's arrays."""
+    bases: dict[str, int] = {}
+    cursor = base
+    for decl in kernel.arrays:
+        bases[decl.name] = cursor
+        cursor += decl.size
+    return Layout(bases, cursor)

@@ -1,0 +1,841 @@
+"""Kernel-IR → SMA code generator (the "structured access" compiler).
+
+Produces an *access program* (AP) and an *execute program* (EP) for
+:class:`repro.core.SMAMachine`.  The essential transformation is **stream
+extraction**: every affine array reference in an innermost loop becomes a
+single structured-access descriptor instruction on the AP, and a queue
+operand on the EP:
+
+====================  ==================================  ===================
+IR pattern             access program                      execute program
+====================  ==================================  ===================
+read  ``a[c*i+d]``     ``streamld lqK, base, c, n``        ``lqK`` source
+read  ``a[b[i]]``      ``streamld iqJ…; gather lqK…``      ``lqK`` source
+read  ``a[f(vals)]``   per-element ``fromq``/``ldq`` loop  push idx to ``eaq``
+write ``a[c*i+d]``     ``streamst sdqS, base, c, n``       ``sdqS`` dest
+write ``a[b[i]]``      ``streamld iqJ…; scatter sdqS…``    ``sdqS`` dest
+reduce                 ``staddr`` at each loop exit        register acc
+====================  ==================================  ===================
+
+Loop-carried recurrences at distance 1 (``x[i] = f(x[i-1], …)``) are
+*register-forwarded*: the carried value lives in an EP register seeded by a
+single ``ldq``, so the loop needs no load stream for ``x`` at all and — more
+importantly — no store→load memory hazard exists.  Reading an array that the
+same loop writes is otherwise legal only when the read index never trails
+the write index (``δ ≥ 0``), which is hazard-free because loads always run
+*ahead* of stores in a decoupled machine; trailing reads at distance > 1
+raise :class:`~repro.errors.LoweringError`.
+
+``use_streams=False`` selects the **ablation** lowering (experiment R-F5):
+the same decoupled split, but the AP issues every element individually
+(``ldq``/``staddr`` in a counted loop) instead of using descriptors — i.e.
+a plain DAE machine without the structured-access feature.  The execute
+program is identical in both modes.
+
+Hazard caveat (documented contract): indirect read-modify-write kernels
+(``a[ix[i]] op= …``) are only sequentially consistent when ``ix`` contains
+no duplicate indices, because gathered loads run ahead of scattered stores.
+The bundled workload generators use permutations.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from ..errors import LoweringError
+from ..isa import EAQ, Imm, Label, Op, Operand, Program, ProgramBuilder, Queue, Reg
+from ..isa.operands import iq as iq_operand
+from ..isa.operands import lq as lq_operand
+from ..isa.operands import sdq as sdq_operand
+from .ir import (
+    Affine,
+    Assign,
+    BinOp,
+    Computed,
+    Const,
+    Expr,
+    Indirect,
+    Kernel,
+    Loop,
+    Reduce,
+    Ref,
+    Select,
+    UnOp,
+)
+from .layout import Layout, layout_arrays
+from .lower_scalar import expr_top_refs
+from .regalloc import RegAlloc
+
+_BINOP_TO_OP = {
+    "+": Op.ADD,
+    "-": Op.SUB,
+    "*": Op.MUL,
+    "/": Op.DIV,
+    "min": Op.MIN,
+    "max": Op.MAX,
+    "mod": Op.MOD,
+}
+_UNOP_TO_OP = {
+    "abs": Op.ABS,
+    "neg": Op.NEG,
+    "sqrt": Op.SQRT,
+    "floor": Op.FLOOR,
+}
+_CMP_TO_OP = {
+    "<": Op.CMPLT,
+    "<=": Op.CMPLE,
+    "==": Op.CMPEQ,
+    "!=": Op.CMPNE,
+}
+
+
+@dataclass(frozen=True)
+class SMALoweringInfo:
+    """Static facts about a lowered kernel (feeds the R-T1 table)."""
+
+    load_streams: int = 0
+    store_streams: int = 0
+    gather_streams: int = 0
+    scatter_streams: int = 0
+    computed_refs: int = 0
+    carried_refs: int = 0
+    reductions: int = 0
+
+
+@dataclass(frozen=True)
+class LoweredSMA:
+    """A compiled kernel for the SMA machine."""
+
+    kernel: Kernel
+    access_program: Program
+    execute_program: Program
+    layout: Layout
+    info: SMALoweringInfo
+    uses_streams: bool = True
+
+
+def lower_sma(
+    kernel: Kernel, base: int = 16, use_streams: bool = True
+) -> LoweredSMA:
+    """Compile ``kernel`` for the SMA machine.
+
+    ``use_streams=False`` selects the per-element (plain-DAE) ablation.
+    """
+    gen = _SMAGen(kernel, base, use_streams)
+    ap, ep, info = gen.generate()
+    return LoweredSMA(kernel, ap, ep, gen.layout, info, use_streams)
+
+
+# ---------------------------------------------------------------------------
+# per-loop reference classification
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _ReadPlan:
+    ref: Ref
+    kind: str  # "stream" | "gather" | "computed" | "carried"
+    uses: int
+    queue: Queue | None = None        # LQ delivering the value
+    index_queue: Queue | None = None  # IQ for gathers
+    #: for carried reads: the write ref the value is forwarded from
+    carried_from: Ref | None = None
+
+
+@dataclass
+class _WritePlan:
+    ref: Ref
+    data_queue: Queue
+    index_queue: Queue | None = None  # IQ for scatters
+
+
+@dataclass
+class _LoopPlan:
+    loop: Loop
+    reads: list[_ReadPlan]
+    writes: list[_WritePlan]
+    reduces: list[Reduce]
+    reduce_queues: dict[int, Queue]
+    carried_init_queues: dict[Ref, Queue] = field(default_factory=dict)
+
+
+class _QueueNamer:
+    """Hands out LQ/SDQ/IQ indices for one innermost loop."""
+
+    def __init__(self, gen: "_SMAGen"):
+        self.gen = gen
+        self.lq = 0
+        self.sdq = 0
+        self.iq = 0
+
+    def next_lq(self) -> Queue:
+        if self.lq >= self.gen.num_lq:
+            raise LoweringError(
+                f"{self.gen.kernel.name}: more load streams than the "
+                f"{self.gen.num_lq} architectural load queues"
+            )
+        q = lq_operand(self.lq)
+        self.lq += 1
+        return q
+
+    def next_sdq(self) -> Queue:
+        if self.sdq >= self.gen.num_sdq:
+            raise LoweringError(
+                f"{self.gen.kernel.name}: more store targets than the "
+                f"{self.gen.num_sdq} store-data queues"
+            )
+        q = sdq_operand(self.sdq)
+        self.sdq += 1
+        return q
+
+    def next_iq(self) -> Queue:
+        if self.iq >= self.gen.num_iq:
+            raise LoweringError(
+                f"{self.gen.kernel.name}: more index streams than the "
+                f"{self.gen.num_iq} index queues"
+            )
+        q = iq_operand(self.iq)
+        self.iq += 1
+        return q
+
+
+# ---------------------------------------------------------------------------
+
+
+class _SMAGen:
+    def __init__(
+        self,
+        kernel: Kernel,
+        base: int,
+        use_streams: bool,
+        num_lq: int = 8,
+        num_sdq: int = 4,
+        num_iq: int = 4,
+    ):
+        self.kernel = kernel
+        self.layout = layout_arrays(kernel, base)
+        self.use_streams = use_streams
+        self.num_lq, self.num_sdq, self.num_iq = num_lq, num_sdq, num_iq
+        self.ap = ProgramBuilder(f"{kernel.name}.sma.access")
+        self.ep = ProgramBuilder(f"{kernel.name}.sma.execute")
+        self.aregs = RegAlloc(f"{kernel.name}.ap")
+        self.xregs = RegAlloc(f"{kernel.name}.ep")
+        self._acc: dict[int, Reg] = {}        # id(Reduce) -> EP acc reg
+        self._carried: dict[Ref, Reg] = {}    # read ref -> EP carried reg
+        self._ap_loop_vars: dict[str, Reg] = {}
+        self._counts = Counter()
+
+    # -- entry point -------------------------------------------------------
+
+    def generate(self) -> tuple[Program, Program, SMALoweringInfo]:
+        for nest in self.kernel.body:
+            assert isinstance(nest, Loop)
+            self._gen_nest(nest, outer=None)
+        self.ap.op(Op.HALT)
+        self.ep.op(Op.HALT)
+        info = SMALoweringInfo(
+            load_streams=self._counts["load_streams"],
+            store_streams=self._counts["store_streams"],
+            gather_streams=self._counts["gather_streams"],
+            scatter_streams=self._counts["scatter_streams"],
+            computed_refs=self._counts["computed_refs"],
+            carried_refs=self._counts["carried_refs"],
+            reductions=self._counts["reductions"],
+        )
+        return self.ap.finalize(), self.ep.finalize(), info
+
+    # -- loop nests -------------------------------------------------------
+
+    def _gen_nest(self, loop: Loop, outer: Loop | None) -> dict[int, Queue]:
+        """Generate one loop (outer or innermost); returns the SDQ chosen
+        for each reduction in the subtree (keyed by id)."""
+        if any(isinstance(s, Loop) for s in loop.body):
+            # outer loop: AP drives stream re-issue, EP mirrors the trip count
+            avar = self.aregs.alloc()
+            acnt = self.aregs.alloc()
+            self._ap_loop_vars[loop.var] = avar
+            self.ap.op(Op.MOV, avar, Imm(loop.start))
+            self.ap.op(Op.MOV, acnt, Imm(loop.count))
+            ap_top = self.ap.new_label(f"{loop.var}_outer")
+            self.ap.label(ap_top)
+            xcnt = self.xregs.alloc()
+            self.ep.op(Op.MOV, xcnt, Imm(loop.count))
+            ep_top = self.ep.new_label(f"{loop.var}_outer")
+            self.ep.label(ep_top)
+            for stmt in loop.body:
+                assert isinstance(stmt, Loop)
+                self._gen_nest(stmt, outer=loop)
+            self.ap.op(Op.ADD, avar, avar, Imm(1))
+            self.ap.op(Op.DECBNZ, acnt, Label(ap_top))
+            self.ep.op(Op.DECBNZ, xcnt, Label(ep_top))
+            del self._ap_loop_vars[loop.var]
+            self.aregs.free(acnt)
+            self.aregs.free(avar)
+            self.xregs.free(xcnt)
+            return
+        plan = self._plan_innermost(loop)
+        if self.use_streams:
+            self._gen_ap_streams(plan)
+        else:
+            self._gen_ap_per_element(plan)
+        # reduction results: the AP pairs one store address per loop exit
+        # with the accumulator value the EP pushes after its loop
+        for red in plan.reduces:
+            dest_index = red.dest.index
+            assert isinstance(dest_index, Affine)
+            base, tmp = self._stream_base(dest_index, red.dest.array, loop)
+            self.ap.op(Op.STADDR, None, plan.reduce_queues[id(red)],
+                       base, Imm(0))
+            if tmp is not None:
+                self.aregs.free(tmp)
+        self._gen_ep_loop(plan)
+
+    # -- analysis -----------------------------------------------------------
+
+    def _plan_innermost(self, loop: Loop) -> _LoopPlan:
+        namer = _QueueNamer(self)
+        writes_raw: list[Ref] = []
+        reduces: list[Reduce] = []
+        read_counts: "Counter[Ref]" = Counter()
+        read_positions: dict[Ref, list[int]] = {}
+        write_position: dict[str, int] = {}
+
+        def note_reads(refs, pos: int) -> None:
+            for ref in refs:
+                read_counts[ref] += 1
+                read_positions.setdefault(ref, []).append(pos)
+                # subscripts computed from data values are themselves EP
+                # reads and must be planned (one level of nesting supported)
+                if isinstance(ref.index, Computed):
+                    note_reads(expr_top_refs(ref.index.expr), pos)
+
+        for pos, stmt in enumerate(loop.body):
+            if isinstance(stmt, Assign):
+                if stmt.dest in writes_raw:
+                    raise LoweringError(
+                        f"duplicate writes to {stmt.dest} in one loop"
+                    )
+                writes_raw.append(stmt.dest)
+                if isinstance(stmt.dest.index, Affine):
+                    write_position[stmt.dest.array] = pos
+                note_reads(expr_top_refs(stmt.expr), pos)
+            elif isinstance(stmt, Reduce):
+                reduces.append(stmt)
+                note_reads(expr_top_refs(stmt.expr), pos)
+            else:  # pragma: no cover - validated in ir
+                raise LoweringError("nested loop in innermost body")
+        affine_write_by_array: dict[str, Ref] = {}
+        for dest in writes_raw:
+            if isinstance(dest.index, Affine):
+                if dest.array in affine_write_by_array:
+                    raise LoweringError(
+                        f"two affine writes to array {dest.array!r}"
+                    )
+                affine_write_by_array[dest.array] = dest
+
+        reads: list[_ReadPlan] = []
+        for ref, uses in read_counts.items():
+            plan_item = self._classify_read(
+                ref, uses, loop, affine_write_by_array, namer
+            )
+            # In-place reads (read index == write index) stream the *old*
+            # memory value, which only matches sequential semantics when
+            # every read occurs no later than the writing statement.
+            if (
+                plan_item.kind == "stream"
+                and isinstance(ref.index, Affine)
+                and ref.array in affine_write_by_array
+            ):
+                w_index = affine_write_by_array[ref.array].index
+                assert isinstance(w_index, Affine)
+                if ref.index.offset == w_index.offset and any(
+                    p > write_position[ref.array]
+                    for p in read_positions[ref]
+                ):
+                    raise LoweringError(
+                        f"read of {ref} after the statement writing it; a "
+                        "stream would deliver the stale value"
+                    )
+            reads.append(plan_item)
+        writes: list[_WritePlan] = []
+        for dest in writes_raw:
+            if isinstance(dest.index, Affine):
+                writes.append(_WritePlan(dest, namer.next_sdq()))
+                self._counts["store_streams"] += 1
+            elif isinstance(dest.index, Indirect):
+                writes.append(
+                    _WritePlan(dest, namer.next_sdq(), namer.next_iq())
+                )
+                self._counts["scatter_streams"] += 1
+            else:
+                raise LoweringError("computed store subscripts unsupported")
+        reduce_queues = {id(r): namer.next_sdq() for r in reduces}
+        self._counts["reductions"] += len(reduces)
+        plan = _LoopPlan(loop, reads, writes, reduces, reduce_queues)
+        for read in reads:
+            if read.kind == "carried":
+                plan.carried_init_queues[read.ref] = namer.next_lq()
+        return plan
+
+    def _classify_read(
+        self,
+        ref: Ref,
+        uses: int,
+        loop: Loop,
+        affine_write_by_array: dict[str, Ref],
+        namer: _QueueNamer,
+    ) -> _ReadPlan:
+        index = ref.index
+        if isinstance(index, Affine):
+            write = affine_write_by_array.get(ref.array)
+            if write is not None:
+                w_index = write.index
+                assert isinstance(w_index, Affine)
+                if index.coeffs != w_index.coeffs:
+                    raise LoweringError(
+                        f"read {ref} vs write {write}: differing index "
+                        "shapes in one loop are unsupported"
+                    )
+                delta = index.offset - w_index.offset
+                step = w_index.coeff(loop.var)
+                if delta == -step and step != 0:
+                    self._counts["carried_refs"] += 1
+                    return _ReadPlan(
+                        ref, "carried", uses, carried_from=write
+                    )
+                if delta < 0:
+                    raise LoweringError(
+                        f"read {ref} trails write {write} by more than one "
+                        "iteration; register forwarding cannot bridge it"
+                    )
+                # delta >= 0: loads lead stores, hazard-free
+            self._counts["load_streams"] += 1
+            return _ReadPlan(ref, "stream", uses, queue=namer.next_lq())
+        if isinstance(index, Indirect):
+            if ref.array in affine_write_by_array:
+                raise LoweringError(
+                    f"gather from {ref.array!r} while the loop stream-writes"
+                    " it is unsupported"
+                )
+            self._counts["gather_streams"] += 1
+            return _ReadPlan(
+                ref,
+                "gather",
+                uses,
+                queue=namer.next_lq(),
+                index_queue=namer.next_iq(),
+            )
+        assert isinstance(index, Computed)
+        self._counts["computed_refs"] += 1
+        return _ReadPlan(ref, "computed", uses, queue=namer.next_lq())
+
+    # -- AP code: structured (descriptor) mode ------------------------------
+
+    def _stream_base(self, index: Affine, array: str, loop: Loop):
+        """Return (operand, temp_reg_or_None) for a stream base address."""
+        const = (
+            self.layout.base(array)
+            + index.offset
+            + index.coeff(loop.var) * loop.start
+        )
+        outer_terms = [
+            (var, coeff)
+            for var, coeff in index.coeffs
+            if var != loop.var and coeff != 0
+        ]
+        if not outer_terms:
+            return Imm(const), None
+        reg = self.aregs.alloc()
+        self.ap.op(Op.MOV, reg, Imm(const))
+        for var, coeff in outer_terms:
+            tmp = self.aregs.alloc()
+            self.ap.op(Op.MUL, tmp, self._ap_loop_vars[var], Imm(coeff))
+            self.ap.op(Op.ADD, reg, reg, tmp)
+            self.aregs.free(tmp)
+        return reg, reg
+
+    def _gen_ap_streams(self, plan: _LoopPlan) -> None:
+        loop = plan.loop
+        n = Imm(loop.count)
+        # carried seeds first: the EP consumes them before its first iteration
+        for read in plan.reads:
+            if read.kind != "carried":
+                continue
+            index = read.ref.index
+            assert isinstance(index, Affine)
+            base, tmp = self._stream_base(index, read.ref.array, loop)
+            queue = plan.carried_init_queues[read.ref]
+            self.ap.op(Op.LDQ, queue, base, Imm(0))
+            if tmp is not None:
+                self.aregs.free(tmp)
+        # load streams and gathers
+        computed: list[_ReadPlan] = []
+        for read in plan.reads:
+            if read.kind == "stream":
+                index = read.ref.index
+                assert isinstance(index, Affine)
+                base, tmp = self._stream_base(index, read.ref.array, loop)
+                self.ap.op(
+                    Op.STREAMLD,
+                    read.queue,
+                    base,
+                    Imm(index.coeff(loop.var)),
+                    n,
+                )
+                if tmp is not None:
+                    self.aregs.free(tmp)
+            elif read.kind == "gather":
+                index = read.ref.index
+                assert isinstance(index, Indirect)
+                inner = index.ref.index
+                assert isinstance(inner, Affine)
+                base, tmp = self._stream_base(inner, index.ref.array, loop)
+                self.ap.op(
+                    Op.STREAMLD,
+                    read.index_queue,
+                    base,
+                    Imm(inner.coeff(loop.var)),
+                    n,
+                )
+                if tmp is not None:
+                    self.aregs.free(tmp)
+                self.ap.op(
+                    Op.GATHER,
+                    read.queue,
+                    read.index_queue,
+                    Imm(self.layout.base(read.ref.array)),
+                    n,
+                )
+            elif read.kind == "computed":
+                computed.append(read)
+        # store streams / scatters
+        for write in plan.writes:
+            index = write.ref.index
+            if isinstance(index, Affine):
+                base, tmp = self._stream_base(index, write.ref.array, loop)
+                self.ap.op(
+                    Op.STREAMST,
+                    None,
+                    write.data_queue,
+                    base,
+                    Imm(index.coeff(loop.var)),
+                    n,
+                )
+                if tmp is not None:
+                    self.aregs.free(tmp)
+            else:
+                assert isinstance(index, Indirect)
+                inner = index.ref.index
+                assert isinstance(inner, Affine)
+                base, tmp = self._stream_base(inner, index.ref.array, loop)
+                self.ap.op(
+                    Op.STREAMLD,
+                    write.index_queue,
+                    base,
+                    Imm(inner.coeff(loop.var)),
+                    n,
+                )
+                if tmp is not None:
+                    self.aregs.free(tmp)
+                self.ap.op(
+                    Op.SCATTER,
+                    None,
+                    write.data_queue,
+                    write.index_queue,
+                    Imm(self.layout.base(write.ref.array)),
+                    n,
+                )
+        # computed subscripts force a per-element AP service loop
+        if computed:
+            counter = self.aregs.alloc()
+            addr = self.aregs.alloc()
+            self.ap.op(Op.MOV, counter, Imm(loop.count))
+            top = self.ap.new_label("lod_serve")
+            self.ap.label(top)
+            for read in computed:
+                self.ap.op(Op.FROMQ, addr, EAQ)
+                self.ap.op(
+                    Op.LDQ,
+                    read.queue,
+                    addr,
+                    Imm(self.layout.base(read.ref.array)),
+                )
+            self.ap.op(Op.DECBNZ, counter, Label(top))
+            self.aregs.free(addr)
+            self.aregs.free(counter)
+
+    # -- AP code: per-element (ablation) mode -------------------------------
+
+    def _gen_ap_per_element(self, plan: _LoopPlan) -> None:
+        loop = plan.loop
+        # carried seeds exactly as in stream mode
+        for read in plan.reads:
+            if read.kind != "carried":
+                continue
+            index = read.ref.index
+            assert isinstance(index, Affine)
+            base, tmp = self._stream_base(index, read.ref.array, loop)
+            self.ap.op(Op.LDQ, plan.carried_init_queues[read.ref], base, Imm(0))
+            if tmp is not None:
+                self.aregs.free(tmp)
+
+        ptrs: dict[Ref, Reg] = {}
+
+        def pointer_for(ref: Ref) -> Reg:
+            if ref not in ptrs:
+                index = ref.index
+                assert isinstance(index, Affine)
+                operand, tmp = self._stream_base(index, ref.array, loop)
+                if tmp is None:
+                    reg = self.aregs.alloc()
+                    self.ap.op(Op.MOV, reg, operand)
+                else:
+                    reg = tmp
+                ptrs[ref] = reg
+            return ptrs[ref]
+
+        # materialize pointers before the loop; order the per-element steps
+        # so data the EP needs is issued before anything that waits on the
+        # EP (a `fromq eaq` ahead of the loads feeding the index expression
+        # would deadlock the two processors against each other)
+        steps: list[tuple[str, object]] = []
+        computed_steps: list[tuple[str, object]] = []
+        for read in plan.reads:
+            if read.kind == "stream":
+                steps.append(("load", read))
+                pointer_for(read.ref)
+            elif read.kind == "gather":
+                index = read.ref.index
+                assert isinstance(index, Indirect)
+                pointer_for(index.ref)
+                steps.append(("gather", read))
+            elif read.kind == "computed":
+                computed_steps.append(("computed", read))
+        steps.extend(computed_steps)
+        for write in plan.writes:
+            index = write.ref.index
+            if isinstance(index, Affine):
+                pointer_for(write.ref)
+                steps.append(("store", write))
+            else:
+                assert isinstance(index, Indirect)
+                pointer_for(index.ref)
+                steps.append(("scatter", write))
+
+        counter = self.aregs.alloc()
+        scratch = self.aregs.alloc()
+        self.ap.op(Op.MOV, counter, Imm(loop.count))
+        top = self.ap.new_label("elem")
+        self.ap.label(top)
+        for kind, item in steps:
+            if kind == "load":
+                read = item
+                self.ap.op(Op.LDQ, read.queue, ptrs[read.ref], Imm(0))
+            elif kind == "gather":
+                read = item
+                index = read.ref.index
+                self.ap.op(Op.LDQ, read.index_queue, ptrs[index.ref], Imm(0))
+                self.ap.op(Op.FROMQ, scratch, read.index_queue)
+                self.ap.op(
+                    Op.LDQ,
+                    read.queue,
+                    scratch,
+                    Imm(self.layout.base(read.ref.array)),
+                )
+            elif kind == "computed":
+                read = item
+                self.ap.op(Op.FROMQ, scratch, EAQ)
+                self.ap.op(
+                    Op.LDQ,
+                    read.queue,
+                    scratch,
+                    Imm(self.layout.base(read.ref.array)),
+                )
+            elif kind == "store":
+                write = item
+                self.ap.op(
+                    Op.STADDR, None, write.data_queue, ptrs[write.ref], Imm(0)
+                )
+            else:  # scatter
+                write = item
+                index = write.ref.index
+                self.ap.op(Op.LDQ, write.index_queue, ptrs[index.ref], Imm(0))
+                self.ap.op(Op.FROMQ, scratch, write.index_queue)
+                self.ap.op(
+                    Op.STADDR,
+                    None,
+                    write.data_queue,
+                    scratch,
+                    Imm(self.layout.base(write.ref.array)),
+                )
+        # bump pointers
+        for ref, reg in ptrs.items():
+            index = ref.index
+            assert isinstance(index, Affine)
+            stride = index.coeff(loop.var)
+            if stride:
+                self.ap.op(Op.ADD, reg, reg, Imm(stride))
+        self.ap.op(Op.DECBNZ, counter, Label(top))
+        self.aregs.free(scratch)
+        self.aregs.free(counter)
+        for reg in ptrs.values():
+            self.aregs.free(reg)
+
+    # -- EP code ------------------------------------------------------------
+
+    def _gen_ep_loop(self, plan: _LoopPlan) -> None:
+        loop = plan.loop
+        # reduction accumulators reset at each entry of this loop
+        for red in plan.reduces:
+            acc = self.xregs.alloc()
+            self._acc[id(red)] = acc
+            self.ep.op(Op.MOV, acc, Imm(float(red.init)))
+        # seed carried registers (one pop per nest entry)
+        for read in plan.reads:
+            if read.kind != "carried":
+                continue
+            reg = self.xregs.alloc()
+            self._carried[read.ref] = reg
+            self.ep.op(Op.MOV, reg, plan.carried_init_queues[read.ref])
+        counter = self.xregs.alloc()
+        self.ep.op(Op.MOV, counter, Imm(loop.count))
+        top = self.ep.new_label(f"{loop.var}_ep")
+        self.ep.label(top)
+        # iteration prologue, two passes: plain values first (so computed
+        # subscripts can consume them), then the computed refs themselves.
+        value_of: dict[Ref, Operand] = {}
+        prologue_regs: list[Reg] = []
+        for read in plan.reads:
+            if read.kind == "carried":
+                value_of[read.ref] = self._carried[read.ref]
+            elif read.kind == "computed":
+                continue
+            elif read.uses > 1:
+                reg = self.xregs.alloc()
+                self.ep.op(Op.MOV, reg, read.queue)
+                value_of[read.ref] = reg
+                prologue_regs.append(reg)
+            else:
+                value_of[read.ref] = read.queue  # inline: pops on use
+        for read in plan.reads:
+            if read.kind != "computed":
+                continue
+            index = read.ref.index
+            assert isinstance(index, Computed)
+            idx_operand, idx_temps = self._ep_operand(index.expr, value_of)
+            self.ep.op(Op.MOV, EAQ, idx_operand)
+            for t in idx_temps:
+                self.xregs.free(t)
+            reg = self.xregs.alloc()
+            self.ep.op(Op.MOV, reg, read.queue)
+            value_of[read.ref] = reg
+            prologue_regs.append(reg)
+        # statements
+        for stmt in loop.body:
+            if isinstance(stmt, Assign):
+                carried_targets = [
+                    r for r, w in (
+                        (read.ref, read.carried_from) for read in plan.reads
+                    )
+                    if w == stmt.dest
+                ]
+                write = next(
+                    w for w in plan.writes if w.ref == stmt.dest
+                )
+                if carried_targets:
+                    reg = self.xregs.alloc()
+                    self._ep_eval_into(reg, stmt.expr, value_of)
+                    self.ep.op(Op.MOV, write.data_queue, reg)
+                    for ref in carried_targets:
+                        self.ep.op(Op.MOV, self._carried[ref], reg)
+                    self.xregs.free(reg)
+                else:
+                    self._ep_eval_into(write.data_queue, stmt.expr, value_of)
+            else:
+                assert isinstance(stmt, Reduce)
+                acc = self._acc[id(stmt)]
+                operand, temps = self._ep_operand(stmt.expr, value_of)
+                self.ep.op(_BINOP_TO_OP[stmt.op], acc, acc, operand)
+                for t in temps:
+                    self.xregs.free(t)
+        for reg in prologue_regs:
+            self.xregs.free(reg)
+        self.ep.op(Op.DECBNZ, counter, Label(top))
+        self.xregs.free(counter)
+        for read in plan.reads:
+            if read.kind == "carried":
+                self.xregs.free(self._carried.pop(read.ref))
+        # push each accumulator toward the STADDR the AP queued
+        for red in plan.reduces:
+            acc = self._acc.pop(id(red))
+            self.ep.op(Op.MOV, plan.reduce_queues[id(red)], acc)
+            self.xregs.free(acc)
+
+    # -- EP expression evaluation -------------------------------------------
+
+    def _ep_operand(
+        self, expr: Expr, value_of: dict[Ref, Operand]
+    ) -> tuple[Operand, list[Reg]]:
+        """Evaluate to a source operand; simple nodes stay inline (queue,
+        register, immediate), compound nodes compute into a temp register
+        returned in the to-free list."""
+        if isinstance(expr, Const):
+            return Imm(float(expr.value)), []
+        if isinstance(expr, Ref):
+            if expr not in value_of:
+                raise LoweringError(f"unplanned EP read of {expr}")
+            return value_of[expr], []
+        reg = self.xregs.alloc()
+        self._ep_eval_into(reg, expr, value_of)
+        return reg, [reg]
+
+    def _ep_eval_into(
+        self, dest: Operand, expr: Expr, value_of: dict[Ref, Operand]
+    ) -> None:
+        """Evaluate ``expr`` with its root operation writing ``dest``
+        (a register or a push-able queue)."""
+        if isinstance(expr, (Const, Ref)):
+            operand, temps = self._ep_operand(expr, value_of)
+            self.ep.op(Op.MOV, dest, operand)
+            for t in temps:
+                self.xregs.free(t)
+            return
+        if isinstance(expr, BinOp):
+            lhs, lt = self._ep_operand(expr.lhs, value_of)
+            rhs, rt = self._ep_operand(expr.rhs, value_of)
+            self.ep.op(_BINOP_TO_OP[expr.op], dest, lhs, rhs)
+            for t in lt + rt:
+                self.xregs.free(t)
+            return
+        if isinstance(expr, UnOp):
+            operand, temps = self._ep_operand(expr.operand, value_of)
+            self.ep.op(_UNOP_TO_OP[expr.op], dest, operand)
+            for t in temps:
+                self.xregs.free(t)
+            return
+        if isinstance(expr, Select):
+            cl, clt = self._ep_operand(expr.cond.lhs, value_of)
+            cr, crt = self._ep_operand(expr.cond.rhs, value_of)
+            cond = self.xregs.alloc()
+            self.ep.op(_CMP_TO_OP[expr.cond.op], cond, cl, cr)
+            for t in clt + crt:
+                self.xregs.free(t)
+            tv, tt = self._ep_operand(expr.iftrue, value_of)
+            fv, ft = self._ep_operand(expr.iffalse, value_of)
+            self.ep.op(Op.SEL, dest, cond, tv, fv)
+            self.xregs.free(cond)
+            for t in tt + ft:
+                self.xregs.free(t)
+            return
+        raise LoweringError(f"cannot lower EP expression {expr!r}")
+
+
+def _reductions(loop: Loop) -> list[Reduce]:
+    found: list[Reduce] = []
+    for s in loop.body:
+        if isinstance(s, Reduce):
+            found.append(s)
+        elif isinstance(s, Loop):
+            found.extend(_reductions(s))
+    return found

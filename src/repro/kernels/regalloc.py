@@ -1,0 +1,46 @@
+"""Trivial register allocator used by both code generators.
+
+Registers are a scarce architectural resource (32 per processor); the
+kernels this package compiles are small enough that a free-list allocator
+with explicit alloc/free suffices.  Exceeding the file is a hard
+:class:`~repro.errors.LoweringError` — the generators never spill.
+"""
+
+from __future__ import annotations
+
+from ..errors import LoweringError
+from ..isa import Reg
+from ..isa.operands import NUM_REGS
+
+
+class RegAlloc:
+    """Free-list allocator over ``r1..r31`` (``r0`` reserved as scratch-
+    free zero by convention, never handed out)."""
+
+    def __init__(self, owner: str = "kernel"):
+        self._free = list(range(NUM_REGS - 1, 0, -1))  # pop() yields r1 first
+        self._owner = owner
+        self.high_water = 0
+
+    def alloc(self) -> Reg:
+        if not self._free:
+            raise LoweringError(
+                f"{self._owner}: out of registers ({NUM_REGS - 1} in use)"
+            )
+        reg = Reg(self._free.pop())
+        in_use = (NUM_REGS - 1) - len(self._free)
+        self.high_water = max(self.high_water, in_use)
+        return reg
+
+    def free(self, reg: Reg) -> None:
+        if reg.index in self._free:
+            raise LoweringError(
+                f"{self._owner}: double free of r{reg.index}"
+            )
+        if reg.index == 0:
+            raise LoweringError(f"{self._owner}: cannot free r0")
+        self._free.append(reg.index)
+
+    @property
+    def in_use(self) -> int:
+        return (NUM_REGS - 1) - len(self._free)

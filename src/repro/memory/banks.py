@@ -1,0 +1,125 @@
+"""Banked, pipelined main-memory timing model.
+
+The memory is ``num_banks``-way low-order interleaved.  A request to bank
+``addr % num_banks`` is *accepted* only if that bank has been idle for
+``bank_busy`` cycles since its last acceptance and the port has spare issue
+bandwidth this cycle; otherwise the requester must retry (the rejection is
+recorded as a bank conflict or port reject).  An accepted request completes
+``latency`` cycles later: loads deliver their value through a callback
+(normally filling a reserved queue slot), stores are already visible.
+
+Functional ordering model: the data effect of a request happens at *issue*
+time — writes update the backing store immediately, reads capture the
+current value and deliver it at completion.  Requests therefore take effect
+in acceptance order, which is the order the processors issued them in; the
+timing pipeline only delays observation, never reorders data.  This is the
+standard conservative model for trace-level architecture simulation.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from ..config import MemoryConfig
+from .main_memory import MainMemory, as_address
+
+
+@dataclass
+class MemoryStats:
+    """Traffic and contention counters for one banked memory."""
+
+    reads: int = 0
+    writes: int = 0
+    bank_conflicts: int = 0
+    port_rejects: int = 0
+    busy_bank_cycles: int = 0
+    per_bank_accesses: list[int] = field(default_factory=list)
+
+    def utilization(self, elapsed_cycles: int, num_banks: int) -> float:
+        """Fraction of bank-cycles spent servicing requests."""
+        if elapsed_cycles <= 0:
+            return 0.0
+        return self.busy_bank_cycles / (elapsed_cycles * num_banks)
+
+
+class BankedMemory:
+    """Cycle-stepped interleaved memory front-end over a MainMemory."""
+
+    def __init__(self, storage: MainMemory, config: MemoryConfig):
+        self.storage = storage
+        self.config = config
+        self._bank_free_at = [0] * config.num_banks
+        self._completions: list[tuple[int, int, Callable, Optional[float]]] = []
+        self._seq = 0
+        self._issues_at = (-1, 0)  # (cycle, count) for the port limit
+        self.stats = MemoryStats(per_bank_accesses=[0] * config.num_banks)
+
+    # -- issue side ------------------------------------------------------
+
+    def can_accept(self, addr, now: int) -> bool:
+        """Would a request to ``addr`` be accepted this cycle?"""
+        a = as_address(addr)
+        bank = a % self.config.num_banks
+        cycle, count = self._issues_at
+        if cycle == now and count >= self.config.accepts_per_cycle:
+            return False
+        return self._bank_free_at[bank] <= now
+
+    def try_issue(
+        self,
+        addr,
+        now: int,
+        *,
+        is_write: bool = False,
+        value: float | None = None,
+        on_complete: Callable[[Optional[float]], None] | None = None,
+    ) -> bool:
+        """Attempt to issue one request; returns acceptance.
+
+        On acceptance the functional effect is applied immediately (see
+        module docstring); ``on_complete(read_value_or_None)`` fires when
+        :meth:`tick` reaches ``now + latency``.
+        """
+        a = as_address(addr)
+        bank = a % self.config.num_banks
+        cycle, count = self._issues_at
+        if cycle == now and count >= self.config.accepts_per_cycle:
+            self.stats.port_rejects += 1
+            return False
+        if self._bank_free_at[bank] > now:
+            self.stats.bank_conflicts += 1
+            return False
+        # accept
+        self._issues_at = (now, count + 1) if cycle == now else (now, 1)
+        self._bank_free_at[bank] = now + self.config.bank_busy
+        self.stats.busy_bank_cycles += self.config.bank_busy
+        self.stats.per_bank_accesses[bank] += 1
+        if is_write:
+            self.stats.writes += 1
+            self.storage.write(a, value)
+            result: Optional[float] = None
+        else:
+            self.stats.reads += 1
+            result = self.storage.read(a)
+        if on_complete is not None:
+            self._seq += 1
+            heapq.heappush(
+                self._completions,
+                (now + self.config.latency, self._seq, on_complete, result),
+            )
+        return True
+
+    # -- completion side ---------------------------------------------------
+
+    def tick(self, now: int) -> None:
+        """Fire every completion whose time has arrived (call once per
+        cycle, before the processors step)."""
+        while self._completions and self._completions[0][0] <= now:
+            _, _, callback, result = heapq.heappop(self._completions)
+            callback(result)
+
+    def quiescent(self) -> bool:
+        """True when no request is in flight."""
+        return not self._completions

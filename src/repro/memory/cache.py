@@ -1,0 +1,120 @@
+"""Set-associative data cache (timing model) for the scalar baseline.
+
+Write-back, write-allocate, true-LRU replacement.  The cache tracks tags
+and dirty bits only — data always lives in the shared functional store, so
+machines with and without a cache produce bit-identical memory images and
+differ only in cycle counts.  This is exactly the role the comparison
+experiment (R-T3) needs: *how many cycles does a conventional cache cost or
+save relative to the SMA queues for the same access stream?*
+
+Timing:
+
+* hit — ``hit_time`` cycles;
+* clean miss — ``hit_time + latency + (line_words - 1) * transfer_cycles``
+  (initial word after the full access latency, the rest streamed);
+* dirty miss — clean-miss time plus ``line_words * transfer_cycles`` for
+  the write-back of the victim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import CacheConfig
+from .main_memory import as_address
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+    writebacks: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+
+class _Line:
+    __slots__ = ("tag", "dirty", "last_used")
+
+    def __init__(self, tag: int, now: int):
+        self.tag = tag
+        self.dirty = False
+        self.last_used = now
+
+
+class DataCache:
+    """LRU set-associative cache; :meth:`access` returns cycles consumed."""
+
+    def __init__(self, config: CacheConfig, memory_latency: int):
+        self.config = config
+        self.memory_latency = memory_latency
+        self._sets: list[dict[int, _Line]] = [
+            {} for _ in range(config.num_sets)
+        ]
+        self._tick = 0
+        self.stats = CacheStats()
+
+    def _locate(self, addr: int) -> tuple[int, int]:
+        line_addr = addr // self.config.line_words
+        return line_addr % self.config.num_sets, line_addr
+
+    def access(self, addr, is_write: bool, now: int = 0,
+               pc: int = 0) -> int:
+        """Simulate one word access; returns the cycles it takes.
+
+        ``now`` and ``pc`` are accepted for interface parity with
+        :class:`~repro.memory.prefetch.PrefetchingCache` (which needs wall
+        time and the accessing instruction to model prefetches); the plain
+        cache ignores both.
+        """
+        a = as_address(addr)
+        self._tick += 1
+        set_index, tag = self._locate(a)
+        cache_set = self._sets[set_index]
+        cfg = self.config
+        line = cache_set.get(tag)
+        if line is not None:
+            self.stats.hits += 1
+            line.last_used = self._tick
+            if is_write:
+                line.dirty = True
+            return cfg.hit_time
+        # miss: allocate (write-allocate policy covers stores too)
+        self.stats.misses += 1
+        cycles = (
+            cfg.hit_time
+            + self.memory_latency
+            + (cfg.line_words - 1) * cfg.transfer_cycles
+        )
+        if len(cache_set) >= cfg.associativity:
+            victim_tag = min(cache_set, key=lambda t: cache_set[t].last_used)
+            victim = cache_set.pop(victim_tag)
+            if victim.dirty:
+                self.stats.writebacks += 1
+                cycles += cfg.line_words * cfg.transfer_cycles
+        new_line = _Line(tag, self._tick)
+        if is_write:
+            new_line.dirty = True
+        cache_set[tag] = new_line
+        return cycles
+
+    def flush_cycles(self) -> int:
+        """Cycles to write back all dirty lines (end-of-run drain)."""
+        cfg = self.config
+        dirty = sum(
+            1
+            for cache_set in self._sets
+            for line in cache_set.values()
+            if line.dirty
+        )
+        self.stats.writebacks += dirty
+        for cache_set in self._sets:
+            for line in cache_set.values():
+                line.dirty = False
+        return dirty * cfg.line_words * cfg.transfer_cycles

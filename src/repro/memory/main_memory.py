@@ -1,0 +1,84 @@
+"""Flat word-addressed backing store.
+
+One 64-bit word per address, held in a NumPy float64 array.  All machines
+(SMA and baselines) operate on the same functional store, so end-of-run
+memory images can be compared word-for-word in differential tests.
+
+Addresses arrive from simulated register files and may therefore be numpy
+floats; they are coerced with :func:`as_address`, which insists the value is
+integral — a fractional address is always a code-generation bug.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import MemoryError_
+
+
+def as_address(value) -> int:
+    """Coerce a simulated register value to an integer address."""
+    addr = int(value)
+    if addr != value:
+        raise MemoryError_(f"non-integral address {value!r}")
+    return addr
+
+
+class MainMemory:
+    """Word-addressed functional storage of ``size`` float64 words.
+
+    An optional ``observer`` — ``observer(kind, addr, value)`` with kind
+    ``"r"``/``"w"`` — sees every functional access; the verification layer
+    (:mod:`repro.verify`) uses it to record full access traces.  Bulk
+    ``load_array``/``dump_array`` staging is *not* reported (it is test
+    harness plumbing, not simulated traffic).
+    """
+
+    def __init__(self, size: int):
+        if size <= 0:
+            raise MemoryError_("memory size must be positive")
+        self.size = size
+        self._words = np.zeros(size, dtype=np.float64)
+        self.observer = None
+
+    def _check(self, addr) -> int:
+        a = as_address(addr)
+        if not 0 <= a < self.size:
+            raise MemoryError_(f"address {a} out of range [0, {self.size})")
+        return a
+
+    def read(self, addr) -> float:
+        """Return the word at ``addr``."""
+        a = self._check(addr)
+        value = float(self._words[a])
+        if self.observer is not None:
+            self.observer("r", a, value)
+        return value
+
+    def write(self, addr, value) -> None:
+        """Store ``value`` at ``addr``."""
+        a = self._check(addr)
+        self._words[a] = value
+        if self.observer is not None:
+            self.observer("w", a, float(value))
+
+    def load_array(self, base, values) -> None:
+        """Bulk-initialize ``len(values)`` words starting at ``base``."""
+        b = self._check(base)
+        values = np.asarray(values, dtype=np.float64)
+        if b + len(values) > self.size:
+            raise MemoryError_(
+                f"array of {len(values)} words at {b} exceeds memory"
+            )
+        self._words[b : b + len(values)] = values
+
+    def dump_array(self, base, count: int) -> np.ndarray:
+        """Return a copy of ``count`` words starting at ``base``."""
+        b = self._check(base)
+        if count < 0 or b + count > self.size:
+            raise MemoryError_(f"dump of {count} words at {b} exceeds memory")
+        return self._words[b : b + count].copy()
+
+    def snapshot(self) -> np.ndarray:
+        """Copy of the entire store (for whole-image comparisons)."""
+        return self._words.copy()

@@ -1,0 +1,208 @@
+"""Stride-prefetching data cache for the scalar baseline.
+
+The SMA's structured access descriptors are, in effect, *exact* software
+prefetching.  The research line this paper fed into asked: how close can a
+conventional cache get with *speculative* hardware prefetching?  This
+module supplies the comparator for experiment R-T5: the baseline's data
+cache extended with either of the two classic hardware prefetch policies:
+
+``obl``
+    one-block lookahead (tagged prefetch-on-miss): a demand miss on line
+    *L* also requests line *L+1*.
+
+``stride``
+    a reference prediction table (RPT) keyed by the load/store
+    instruction's PC: each table entry tracks the last address and last
+    delta observed by that instruction; once the delta repeats (a
+    *confirmed* stride), the line ``stride × line_words`` words ahead is
+    requested on every access.  Keying by PC is what lets the predictor
+    survive multiple interleaved streams — exactly the structure a daxpy
+    loop presents.
+
+Timing model: a prefetch overlaps with processor execution — it costs the
+requester nothing up front, and the line becomes available one full miss
+latency after the triggering access completes.  A demand access that hits
+a *pending* prefetched line waits only for its remaining flight time
+(partial coverage), which is exactly the behaviour that makes prefetching
+close part — but not all — of the gap to a decoupled machine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import CacheConfig
+from .cache import CacheStats, DataCache
+from .main_memory import as_address
+
+
+@dataclass(frozen=True)
+class PrefetchConfig:
+    """Prefetcher knobs layered on a :class:`~repro.config.CacheConfig`."""
+
+    policy: str = "stride"  # "obl" | "stride"
+    #: entries in the stride-detection history (stride policy only).
+    table_size: int = 4
+    #: lines fetched ahead per trigger.
+    degree: int = 1
+
+    def __post_init__(self) -> None:
+        if self.policy not in ("obl", "stride"):
+            raise ValueError(f"unknown prefetch policy {self.policy!r}")
+        if self.table_size < 1 or self.degree < 1:
+            raise ValueError("table_size and degree must be >= 1")
+
+
+@dataclass
+class PrefetchStats(CacheStats):
+    prefetches_issued: int = 0
+    #: demand accesses fully served by a completed prefetch.
+    prefetch_hits: int = 0
+    #: demand accesses that caught a prefetch still in flight.
+    prefetch_partial_hits: int = 0
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of would-be misses removed or shortened by prefetch."""
+        covered = self.prefetch_hits + self.prefetch_partial_hits
+        total = self.misses + covered
+        return covered / total if total else 0.0
+
+
+class PrefetchingCache(DataCache):
+    """A :class:`DataCache` with OBL / stride hardware prefetch."""
+
+    def __init__(
+        self,
+        config: CacheConfig,
+        memory_latency: int,
+        prefetch: PrefetchConfig | None = None,
+    ):
+        super().__init__(config, memory_latency)
+        self.prefetch_config = prefetch or PrefetchConfig()
+        self.stats = PrefetchStats()
+        #: line tag -> cycle the prefetched line becomes usable
+        self._pending: dict[int, int] = {}
+        #: reference prediction table: pc -> (last_addr, stride, confirmed)
+        self._rpt: dict[int, tuple[int, int, bool]] = {}
+
+    # -- internals -----------------------------------------------------
+
+    def _install(self, line_tag: int, now: int) -> None:
+        """Place a line into its set (prefetch fill: clean, LRU-fresh)."""
+        set_index = line_tag % self.config.num_sets
+        cache_set = self._sets[set_index]
+        if line_tag in cache_set:
+            return
+        if len(cache_set) >= self.config.associativity:
+            victim_tag = min(cache_set, key=lambda t: cache_set[t].last_used)
+            victim = cache_set.pop(victim_tag)
+            if victim.dirty:
+                # write-back bandwidth is charged to the *next* demand miss
+                # in this simple model; count it for fidelity of stats
+                self.stats.writebacks += 1
+        from .cache import _Line  # shared line record
+
+        cache_set[line_tag] = _Line(line_tag, self._tick)
+
+    def _request_lines(self, line_tags, ready_base: int) -> None:
+        for target in line_tags:
+            if target < 0:
+                continue
+            set_index = target % self.config.num_sets
+            if target in self._sets[set_index] or target in self._pending:
+                continue
+            self._pending[target] = ready_base + self.memory_latency
+            self.stats.prefetches_issued += 1
+
+    def _train_rpt(self, pc: int, addr: int, ready_base: int) -> None:
+        """Stride policy: update the PC-indexed reference prediction table
+        (trained on *every* access, hit or miss) and request the line one
+        confirmed stride step ahead."""
+        cfg = self.prefetch_config
+        entry = self._rpt.pop(pc, None)
+        if entry is None:
+            if len(self._rpt) >= cfg.table_size:
+                # evict the oldest entry (insertion-ordered dict)
+                self._rpt.pop(next(iter(self._rpt)))
+            self._rpt[pc] = (addr, 0, False)
+            return
+        last_addr, stride, _ = entry
+        delta = addr - last_addr
+        confirmed = delta == stride and delta != 0
+        self._rpt[pc] = (addr, delta, confirmed)
+        if not confirmed:
+            return
+        line_words = self.config.line_words
+        targets = [
+            (addr + delta * line_words * k) // line_words
+            for k in range(1, cfg.degree + 1)
+        ]
+        self._request_lines(targets, ready_base)
+
+    def _issue_prefetches(self, line_tag: int, ready_base: int) -> None:
+        """OBL policy trigger (demand-miss / prefetch-hit driven)."""
+        cfg = self.prefetch_config
+        if cfg.policy != "obl":
+            return
+        self._request_lines(
+            (line_tag + k for k in range(1, cfg.degree + 1)), ready_base
+        )
+
+    # -- the timing interface used by the scalar machine ------------------
+
+    def access(self, addr, is_write: bool, now: int = 0,
+               pc: int = 0) -> int:
+        """Simulate one word access at cycle ``now`` by the instruction at
+        ``pc``; returns the cycles it takes."""
+        a = as_address(addr)
+        self._tick += 1
+        cfg = self.config
+        set_index, tag = self._locate(a)
+        cache_set = self._sets[set_index]
+        if self.prefetch_config.policy == "stride":
+            self._train_rpt(pc, a, now + cfg.hit_time)
+        line = cache_set.get(tag)
+        if line is not None:
+            self.stats.hits += 1
+            line.last_used = self._tick
+            if is_write:
+                line.dirty = True
+            return cfg.hit_time
+        # pending prefetch?
+        if tag in self._pending:
+            ready = self._pending.pop(tag)
+            self._install(tag, now)
+            installed = cache_set[tag]
+            installed.last_used = self._tick
+            if is_write:
+                installed.dirty = True
+            if ready <= now:
+                self.stats.prefetch_hits += 1
+                cost = cfg.hit_time
+            else:
+                self.stats.prefetch_partial_hits += 1
+                cost = cfg.hit_time + (ready - now)
+            self._issue_prefetches(tag, now + cost)
+            return cost
+        # genuine demand miss: same cost structure as the plain cache
+        self.stats.misses += 1
+        cost = (
+            cfg.hit_time
+            + self.memory_latency
+            + (cfg.line_words - 1) * cfg.transfer_cycles
+        )
+        if len(cache_set) >= cfg.associativity:
+            victim_tag = min(cache_set, key=lambda t: cache_set[t].last_used)
+            victim = cache_set.pop(victim_tag)
+            if victim.dirty:
+                self.stats.writebacks += 1
+                cost += cfg.line_words * cfg.transfer_cycles
+        from .cache import _Line
+
+        new_line = _Line(tag, self._tick)
+        if is_write:
+            new_line.dirty = True
+        cache_set[tag] = new_line
+        self._issue_prefetches(tag, now + cost)
+        return cost

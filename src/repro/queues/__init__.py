@@ -1,0 +1,6 @@
+"""Architectural FIFO queues coupling the SMA processors and memory."""
+
+from .operand_queue import OperandQueue, QueueStats
+from .queue_file import QueueFile
+
+__all__ = ["OperandQueue", "QueueFile", "QueueStats"]

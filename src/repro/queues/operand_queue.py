@@ -1,0 +1,147 @@
+"""Architectural FIFO queues with slot reservation.
+
+The SMA queues must deliver memory values *in program order* even though the
+banked memory can complete requests out of order (different banks, different
+wait times).  The classic hardware solution is reservation: when the access
+processor (or the stream engine) issues a load, it reserves the next slot of
+the destination queue at issue time; the returning datum later *fills* that
+slot.  The consumer can only pop the head slot once it is filled, so ordering
+is preserved and queue capacity doubles as the bound on outstanding loads
+per queue.
+
+Values produced locally (EP results, AP store addresses) use the one-step
+:meth:`OperandQueue.push`, which is reserve+fill combined.
+
+Every queue keeps occupancy statistics (time-weighted via per-cycle
+:meth:`OperandQueue.sample`), which the experiment harness uses for the
+queue-occupancy and slip figures.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..errors import QueueError
+
+
+@dataclass
+class _Slot:
+    filled: bool = False
+    value: Any = None
+
+
+@dataclass
+class QueueStats:
+    """Occupancy and traffic counters for one queue."""
+
+    pushes: int = 0
+    pops: int = 0
+    #: cycles in which a consumer wanted the head but it was not ready.
+    empty_stalls: int = 0
+    #: cycles in which a producer wanted a slot but the queue was full.
+    full_stalls: int = 0
+    samples: int = 0
+    occupancy_sum: int = 0
+    occupancy_max: int = 0
+    histogram: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def mean_occupancy(self) -> float:
+        return self.occupancy_sum / self.samples if self.samples else 0.0
+
+
+class OperandQueue:
+    """A bounded FIFO with the reserve/fill protocol described above."""
+
+    def __init__(self, name: str, capacity: int):
+        if capacity < 1:
+            raise ValueError("queue capacity must be >= 1")
+        self.name = name
+        self.capacity = capacity
+        self._slots: deque[_Slot] = deque()
+        self.stats = QueueStats()
+
+    # -- producer side --------------------------------------------------
+
+    def can_reserve(self) -> bool:
+        """True if a new slot can be reserved (queue not full of
+        reserved-or-filled slots)."""
+        return len(self._slots) < self.capacity
+
+    def reserve(self) -> _Slot:
+        """Reserve the next slot; returns a token to pass to :meth:`fill`."""
+        if not self.can_reserve():
+            raise QueueError(f"{self.name}: reserve on full queue")
+        slot = _Slot()
+        self._slots.append(slot)
+        return slot
+
+    def fill(self, token: _Slot, value: Any) -> None:
+        """Deliver the value for a previously reserved slot."""
+        if token.filled:
+            raise QueueError(f"{self.name}: slot filled twice")
+        token.filled = True
+        token.value = value
+        self.stats.pushes += 1
+
+    def push(self, value: Any) -> None:
+        """Reserve and fill in one step (locally produced values)."""
+        self.fill(self.reserve(), value)
+
+    def note_full_stall(self) -> None:
+        """Record that a producer stalled on this queue this cycle."""
+        self.stats.full_stalls += 1
+
+    # -- consumer side --------------------------------------------------
+
+    def head_ready(self) -> bool:
+        """True if the oldest slot exists and has been filled."""
+        return bool(self._slots) and self._slots[0].filled
+
+    def pop(self) -> Any:
+        """Remove and return the head value; head must be ready."""
+        if not self.head_ready():
+            raise QueueError(f"{self.name}: pop on empty/unfilled head")
+        self.stats.pops += 1
+        return self._slots.popleft().value
+
+    def peek(self) -> Any:
+        """Return the head value without removing it; head must be ready."""
+        if not self.head_ready():
+            raise QueueError(f"{self.name}: peek on empty/unfilled head")
+        return self._slots[0].value
+
+    def note_empty_stall(self) -> None:
+        """Record that a consumer stalled on this queue this cycle."""
+        self.stats.empty_stalls += 1
+
+    # -- introspection ---------------------------------------------------
+
+    def __len__(self) -> int:
+        """Number of occupied (reserved or filled) slots."""
+        return len(self._slots)
+
+    @property
+    def filled_count(self) -> int:
+        return sum(1 for s in self._slots if s.filled)
+
+    def is_empty(self) -> bool:
+        return not self._slots
+
+    def sample(self) -> None:
+        """Record one occupancy sample (call once per simulated cycle)."""
+        n = len(self._slots)
+        st = self.stats
+        st.samples += 1
+        st.occupancy_sum += n
+        if n > st.occupancy_max:
+            st.occupancy_max = n
+        st.histogram[n] = st.histogram.get(n, 0) + 1
+
+    def __repr__(self) -> str:
+        return (
+            f"OperandQueue({self.name!r}, {len(self._slots)}/{self.capacity}"
+            f" occupied, {self.filled_count} filled)"
+        )

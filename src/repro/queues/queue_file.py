@@ -1,0 +1,78 @@
+"""The machine's full complement of architectural queues.
+
+:class:`QueueFile` instantiates every queue named by the SMA configuration
+and resolves :class:`repro.isa.Queue` operands to the backing
+:class:`OperandQueue` objects.  It is shared by the access processor, the
+execute processor, the stream engine, and the store unit, which gives the
+simulator a single place to sample occupancy each cycle.
+"""
+
+from __future__ import annotations
+
+from ..config import SMAConfig
+from ..errors import QueueError
+from ..isa import Queue, QueueSpace
+from .operand_queue import OperandQueue
+
+
+class QueueFile:
+    """All architectural queues of one SMA machine instance."""
+
+    def __init__(self, config: SMAConfig):
+        q = config.queues
+        self.load = [
+            OperandQueue(f"lq{i}", q.load_queue_depth)
+            for i in range(config.num_load_queues)
+        ]
+        self.store_data = [
+            OperandQueue(f"sdq{i}", q.store_data_depth)
+            for i in range(config.num_store_queues)
+        ]
+        self.index = [
+            OperandQueue(f"iq{i}", q.index_queue_depth)
+            for i in range(config.num_index_queues)
+        ]
+        self.store_addr = OperandQueue("saq", q.store_addr_depth)
+        self.ep_to_ap_data = OperandQueue("eaq", q.ep_to_ap_data_depth)
+        self.ep_to_ap_branch = OperandQueue("ebq", q.ep_to_ap_branch_depth)
+
+    def resolve(self, operand: Queue) -> OperandQueue:
+        """Map an ISA queue operand to its OperandQueue."""
+        space = operand.space
+        try:
+            if space is QueueSpace.LQ:
+                return self.load[operand.index]
+            if space is QueueSpace.SDQ:
+                return self.store_data[operand.index]
+            if space is QueueSpace.IQ:
+                return self.index[operand.index]
+        except IndexError:
+            raise QueueError(
+                f"queue {operand} not present in this configuration"
+            ) from None
+        if space is QueueSpace.SAQ:
+            return self.store_addr
+        if space is QueueSpace.EAQ:
+            return self.ep_to_ap_data
+        if space is QueueSpace.EBQ:
+            return self.ep_to_ap_branch
+        raise QueueError(f"unknown queue space {space}")
+
+    def all_queues(self) -> list[OperandQueue]:
+        return [
+            *self.load,
+            *self.store_data,
+            *self.index,
+            self.store_addr,
+            self.ep_to_ap_data,
+            self.ep_to_ap_branch,
+        ]
+
+    def sample(self) -> None:
+        """Record one occupancy sample on every queue."""
+        for queue in self.all_queues():
+            queue.sample()
+
+    def all_drained(self) -> bool:
+        """True when no queue holds any reserved or filled slot."""
+        return all(q.is_empty() for q in self.all_queues())

@@ -1,0 +1,18 @@
+"""Cycle-resolution tracing utilities for the SMA machine."""
+
+from .timeline import CycleRecord, TimelineRecorder
+from .collectors import (
+    CompositeObserver,
+    ProgressSampler,
+    QueueOccupancySampler,
+    TimeSeries,
+)
+
+__all__ = [
+    "CompositeObserver",
+    "CycleRecord",
+    "TimelineRecorder",
+    "ProgressSampler",
+    "QueueOccupancySampler",
+    "TimeSeries",
+]

@@ -1,0 +1,93 @@
+"""Cycle-resolution trace collectors.
+
+These attach to :meth:`repro.core.SMAMachine.run` through its ``observer``
+hook and record per-cycle state for the time-series experiments (queue
+occupancy profile, decoupling depth over time).  Collectors down-sample on
+the fly — recording every ``stride``-th cycle — so arbitrarily long runs
+stay cheap to trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class TimeSeries:
+    """A down-sampled scalar signal over simulated time."""
+
+    name: str
+    stride: int
+    cycles: list[int] = field(default_factory=list)
+    values: list[float] = field(default_factory=list)
+
+    def append(self, cycle: int, value: float) -> None:
+        self.cycles.append(cycle)
+        self.values.append(value)
+
+    def bucketed(self, buckets: int) -> list[tuple[int, float]]:
+        """Aggregate into ``buckets`` (cycle, mean value) points — the
+        shape figures are plotted from."""
+        if not self.cycles:
+            return []
+        span = self.cycles[-1] - self.cycles[0] + 1
+        width = max(span // max(buckets, 1), 1)
+        out: list[tuple[int, float]] = []
+        acc, count, bucket_start = 0.0, 0, self.cycles[0]
+        for cyc, val in zip(self.cycles, self.values):
+            if cyc - bucket_start >= width and count:
+                out.append((bucket_start, acc / count))
+                acc, count = 0.0, 0
+                bucket_start = cyc
+            acc += val
+            count += 1
+        if count:
+            out.append((bucket_start, acc / count))
+        return out
+
+
+class QueueOccupancySampler:
+    """Records total load-queue occupancy (the instantaneous decoupling
+    depth) and store-data occupancy, every ``stride`` cycles."""
+
+    def __init__(self, stride: int = 1):
+        self.stride = max(stride, 1)
+        self.load = TimeSeries("load_queue_occupancy", self.stride)
+        self.store = TimeSeries("store_data_occupancy", self.stride)
+
+    def __call__(self, machine, cycle: int) -> None:
+        if cycle % self.stride:
+            return
+        self.load.append(
+            cycle, float(sum(len(q) for q in machine.queues.load))
+        )
+        self.store.append(
+            cycle, float(sum(len(q) for q in machine.queues.store_data))
+        )
+
+
+class ProgressSampler:
+    """Records retired-instruction counts of both processors over time;
+    the gap between the two curves is the architectural slip."""
+
+    def __init__(self, stride: int = 1):
+        self.stride = max(stride, 1)
+        self.ap = TimeSeries("ap_instructions", self.stride)
+        self.ep = TimeSeries("ep_instructions", self.stride)
+
+    def __call__(self, machine, cycle: int) -> None:
+        if cycle % self.stride:
+            return
+        self.ap.append(cycle, float(machine.ap.stats.instructions))
+        self.ep.append(cycle, float(machine.ep.stats.instructions))
+
+
+class CompositeObserver:
+    """Fan one observer hook out to several collectors."""
+
+    def __init__(self, *observers):
+        self.observers = observers
+
+    def __call__(self, machine, cycle: int) -> None:
+        for obs in self.observers:
+            obs(machine, cycle)

@@ -1,0 +1,193 @@
+"""Access processor: ops, stall causes, LOD accounting, legality."""
+
+import pytest
+
+from repro.config import SMAConfig
+from repro.core import SMAMachine
+from repro.errors import SimulationError
+from repro.isa import assemble
+
+
+def machine(ap_src, ep_src="halt", config=None):
+    return SMAMachine(
+        assemble(ap_src, "ap"), assemble(ep_src, "ep"),
+        config or SMAConfig(),
+    )
+
+
+class TestALUAndControl:
+    def test_arithmetic(self):
+        m = machine("""
+            mov a1, #6
+            mov a2, #7
+            mul a3, a1, a2
+            halt
+        """)
+        m.run()
+        assert m.ap.registers[3] == 42
+
+    def test_decbnz_loop_count(self):
+        m = machine("""
+            mov a1, #5
+            mov a2, #0
+            top: add a2, a2, #2
+            decbnz a1, top
+            halt
+        """)
+        m.run()
+        assert m.ap.registers[2] == 10
+
+    def test_beqz_bnez(self):
+        m = machine("""
+            mov a1, #0
+            beqz a1, skip
+            mov a2, #111
+            skip: mov a3, #5
+            halt
+        """)
+        m.run()
+        assert m.ap.registers[2] == 0
+        assert m.ap.registers[3] == 5
+
+    def test_jmp(self):
+        m = machine("jmp end\nmov a1, #9\nend: halt")
+        m.run()
+        assert m.ap.registers[1] == 0
+
+    def test_illegal_op_rejected_at_construction(self):
+        with pytest.raises(SimulationError, match="not a valid access"):
+            machine("load a1, a2, #0\nhalt")
+
+    def test_running_off_end(self):
+        m = machine("nop\nhalt", "halt")
+        m.ap.program = assemble("nop", require_halt=False)
+        with pytest.raises(SimulationError, match="ran off"):
+            m.run()
+
+
+class TestMemoryOps:
+    def test_ldq_single_load(self):
+        m = machine("""
+            ldq lq0, #20, #0
+            halt
+        """, """
+            mov x1, lq0
+            halt
+        """)
+        m.memory.write(20, 3.5)
+        m.run()
+        assert m.ep.registers[1] == 3.5
+
+    def test_staddr_pairs_with_sdq(self):
+        m = machine("""
+            staddr sdq0, #30, #2
+            halt
+        """, """
+            mov sdq0, #8.25
+            halt
+        """)
+        m.run()
+        assert m.memory.read(32) == 8.25
+
+    def test_streams_and_store(self):
+        m = machine("""
+            streamld lq0, #10, #1, #4
+            streamst sdq0, #50, #1, #4
+            halt
+        """, """
+            mov x1, #4
+            t: add sdq0, lq0, #1.0
+            decbnz x1, t
+            halt
+        """)
+        m.load_array(10, [1.0, 2.0, 3.0, 4.0])
+        m.run()
+        assert m.dump_array(50, 4).tolist() == [2.0, 3.0, 4.0, 5.0]
+
+    def test_stream_queue_busy_stall(self):
+        # two load streams to the same queue: the second must wait for the
+        # first to finish, never interleave
+        m = machine("""
+            streamld lq0, #10, #1, #4
+            streamld lq0, #20, #1, #4
+            halt
+        """, """
+            mov x1, #8
+            mov x2, #0
+            t: add x2, x2, lq0
+            decbnz x1, t
+            halt
+        """)
+        m.load_array(10, [1.0] * 4)
+        m.load_array(20, [10.0] * 4)
+        res = m.run()
+        assert m.ep.registers[2] == 44.0
+        assert res.ap.stall_cycles.get("stream_queue_busy", 0) > 0
+
+
+class TestLossOfDecoupling:
+    def test_fromq_eaq_counts_lod(self):
+        m = machine("""
+            fromq a1, eaq
+            ldq lq0, a1, #0
+            halt
+        """, """
+            mov eaq, #25
+            mov x1, lq0
+            halt
+        """)
+        m.memory.write(25, 6.5)
+        res = m.run()
+        assert m.ep.registers[1] == 6.5
+        assert res.lod_events >= 1
+        assert res.ap.stall_cycles.get("lod_eaq", 0) >= 0
+
+    def test_bqnz_branch_queue(self):
+        # EP decides loop exit; AP spins on the branch queue
+        m = machine("""
+            mov a2, #0
+            top: bqez a2q_done
+            add a2, a2, #1
+            jmp top
+            a2q_done: halt
+        """, """
+            mov x1, #3
+            t: cmpne ebq, x1, #1
+            decbnz x1, t
+            halt
+        """)
+        res = m.run()
+        # EP pushed 1,1,0-ish comparisons: x1 = 3,2,1 -> cmpne(3,1)=1,
+        # cmpne(2,1)=1, cmpne(1,1)=0 -> AP increments twice then exits
+        assert m.ap.registers[2] == 2
+        assert res.ap.stall_cycles.get("lod_ebq", 0) > 0
+
+    def test_lod_events_count_episodes_not_cycles(self):
+        m = machine("""
+            fromq a1, eaq
+            halt
+        """, """
+            mov x1, #40
+            t: decbnz x1, t
+            mov eaq, #1
+            halt
+        """)
+        res = m.run()
+        assert res.lod_events == 1
+        assert res.ap.stall_cycles["lod_eaq"] > 10
+
+
+class TestStallAccounting:
+    def test_total_and_breakdown_consistent(self):
+        m = machine("""
+            streamld lq0, #10, #1, #16
+            streamld lq0, #10, #1, #16
+            halt
+        """, """
+            mov x1, #32
+            t: mov x2, lq0
+            decbnz x1, t
+            halt
+        """)
+        res = m.run()
+        assert res.ap.total_stalls() == sum(res.ap.stall_cycles.values())

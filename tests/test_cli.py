@@ -1,0 +1,122 @@
+"""CLI and ASCII plotting."""
+
+import pytest
+
+from repro.cli import main
+from repro.harness.plot import render_plot
+from repro.harness.tables import Table
+
+
+class TestPlot:
+    def _table(self):
+        t = Table("R-F9", "demo figure", ("x", "alpha", "beta"))
+        t.add_row(1, 1.0, 2.0)
+        t.add_row(2, 2.0, 4.0)
+        t.add_row(4, 4.0, 8.0)
+        return t
+
+    def test_renders_axes_and_legend(self):
+        art = render_plot(self._table())
+        assert "A=alpha" in art and "B=beta" in art
+        assert "R-F9" in art
+        assert "8" in art and "1" in art  # y range labels
+
+    def test_series_extremes_plotted(self):
+        art = render_plot(self._table(), width=30, height=8)
+        lines = art.splitlines()
+        top = next(l for l in lines if "|" in l)
+        assert "B" in top  # max value (8.0) on the top row
+
+    def test_needs_data(self):
+        with pytest.raises(ValueError):
+            render_plot(Table("X", "t", ("x", "y")))
+
+    def test_logx(self):
+        art = render_plot(self._table(), logx=True)
+        assert "alpha" in art
+
+    def test_logx_rejects_nonpositive(self):
+        t = Table("X", "t", ("x", "y"))
+        t.add_row(0, 1.0)
+        t.add_row(1, 2.0)
+        with pytest.raises(ValueError, match="positive"):
+            render_plot(t, logx=True)
+
+
+class TestCLI:
+    def test_kernels(self, capsys):
+        assert main(["kernels"]) == 0
+        out = capsys.readouterr().out
+        assert "hydro" in out and "tridiag" in out
+
+    def test_run(self, capsys):
+        assert main(["run", "daxpy", "--n", "32"]) == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out and "verified" in out
+
+    def test_compile(self, capsys):
+        assert main(["compile", "daxpy", "--n", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "streamld" in out and "decbnz" in out
+
+    def test_experiment_with_plot(self, capsys, monkeypatch):
+        # shrink the sweep so the test stays fast
+        from repro.harness import experiments as exp
+        monkeypatch.setitem(
+            exp.EXPERIMENTS, "R-F1",
+            lambda: exp.fig1_latency(n=32, latencies=(2, 8),
+                                     kernels=("daxpy",)),
+        )
+        assert main(["experiment", "R-F1", "--plot"]) == 0
+        out = capsys.readouterr().out
+        assert "R-F1" in out and "A=daxpy" in out
+
+    def test_experiment_unknown(self, capsys):
+        assert main(["experiment", "R-T99"]) == 2
+
+    def test_parse(self, tmp_path, capsys):
+        source = """
+kernel scale(x[n], y[n]):
+    for i in 0 .. n:
+        y[i] = 2.0 * x[i]
+"""
+        path = tmp_path / "scale.k"
+        path.write_text(source)
+        assert main(["parse", str(path), "--n", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "verified on both machines" in out
+
+    def test_timeline(self, capsys):
+        assert main(["timeline", "daxpy", "--n", "8", "--last", "12"]) == 0
+        out = capsys.readouterr().out
+        assert "access processor" in out and "streamld" in out
+
+    def test_experiment_csv(self, capsys, monkeypatch):
+        from repro.harness import experiments as exp
+        monkeypatch.setitem(
+            exp.EXPERIMENTS, "R-F2",
+            lambda: exp.fig2_queue_depth(n=16, depths=(2, 4),
+                                         kernels=("daxpy",)),
+        )
+        assert main(["experiment", "R-F2", "--csv"]) == 0
+        out = capsys.readouterr().out
+        assert "depth,daxpy" in out
+        assert out.startswith("# [R-F2]")
+
+    def test_verify(self, capsys):
+        assert main(["verify", "tridiag", "--n", "24"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("match sequential semantics") == 3
+
+    def test_verify_single_machine(self, capsys):
+        assert main(["verify", "daxpy", "--n", "16",
+                     "--machine", "scalar"]) == 0
+        out = capsys.readouterr().out
+        assert "scalar:" in out and "sma:" not in out
+
+    def test_parse_mismatch_would_fail_loudly(self, tmp_path):
+        # sanity: garbage source errors before any run
+        path = tmp_path / "bad.k"
+        path.write_text("kernel k(x[4]):\n    for i in 0 .. 4:\n        x[i] = @")
+        with pytest.raises(Exception):
+            main(["parse", str(path)])

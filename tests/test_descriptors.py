@@ -1,0 +1,213 @@
+"""Stream descriptors and the stream engine."""
+
+import pytest
+
+from repro.config import MemoryConfig
+from repro.core import StreamDescriptor, StreamEngine, StreamKind
+from repro.errors import SimulationError
+from repro.memory import BankedMemory, MainMemory
+from repro.queues import OperandQueue
+
+
+def make_memory(latency=2, banks=8, busy=1, accepts=4):
+    cfg = MemoryConfig(size=256, num_banks=banks, latency=latency,
+                       bank_busy=busy, accepts_per_cycle=accepts)
+    return BankedMemory(MainMemory(256), cfg)
+
+
+def drain(engine, mem, queue, count, max_cycles=500):
+    """Run the engine+memory until `count` values popped from `queue`."""
+    got = []
+    for t in range(max_cycles):
+        mem.tick(t)
+        engine.tick(t)
+        while queue.head_ready() and len(got) < count:
+            got.append(queue.pop())
+        if len(got) == count:
+            return got
+    raise AssertionError(f"only drained {len(got)}/{count}")
+
+
+class TestDescriptorValidation:
+    def test_load_needs_target(self):
+        with pytest.raises(SimulationError):
+            StreamDescriptor(StreamKind.LOAD, base=0, count=4)
+
+    def test_store_needs_data_queue(self):
+        with pytest.raises(SimulationError):
+            StreamDescriptor(StreamKind.STORE, base=0, count=4)
+
+    def test_gather_needs_index_queue(self):
+        with pytest.raises(SimulationError):
+            StreamDescriptor(
+                StreamKind.GATHER, base=0, count=4,
+                target=OperandQueue("q", 4),
+            )
+
+    def test_negative_count(self):
+        with pytest.raises(SimulationError):
+            StreamDescriptor(
+                StreamKind.LOAD, base=0, count=-1,
+                target=OperandQueue("q", 4),
+            )
+
+
+class TestLoadStream:
+    def test_unit_stride_values_in_order(self):
+        mem = make_memory()
+        mem.storage.load_array(10, [1.0, 2.0, 3.0, 4.0])
+        q = OperandQueue("lq0", 8)
+        engine = StreamEngine(mem, max_streams=2)
+        engine.start(StreamDescriptor(StreamKind.LOAD, 10, 4, 1, target=q))
+        assert drain(engine, mem, q, 4) == [1.0, 2.0, 3.0, 4.0]
+        assert engine.idle()
+
+    def test_negative_stride(self):
+        mem = make_memory()
+        mem.storage.load_array(10, [1.0, 2.0, 3.0])
+        q = OperandQueue("lq0", 8)
+        engine = StreamEngine(mem, max_streams=1)
+        engine.start(StreamDescriptor(StreamKind.LOAD, 12, 3, -1, target=q))
+        assert drain(engine, mem, q, 3) == [3.0, 2.0, 1.0]
+
+    def test_stride_zero_repeats(self):
+        mem = make_memory()
+        mem.storage.write(5, 7.0)
+        q = OperandQueue("lq0", 8)
+        engine = StreamEngine(mem, max_streams=1)
+        engine.start(StreamDescriptor(StreamKind.LOAD, 5, 3, 0, target=q))
+        assert drain(engine, mem, q, 3) == [7.0, 7.0, 7.0]
+
+    def test_backpressure_from_full_queue(self):
+        mem = make_memory()
+        q = OperandQueue("lq0", 2)
+        engine = StreamEngine(mem, max_streams=1)
+        engine.start(StreamDescriptor(StreamKind.LOAD, 0, 8, 1, target=q))
+        for t in range(20):
+            mem.tick(t)
+            engine.tick(t)
+        # never more than capacity outstanding, stream not done
+        assert len(q) == 2
+        assert not engine.idle()
+        assert q.stats.full_stalls > 0
+
+    def test_zero_count_stream_never_goes_live(self):
+        mem = make_memory()
+        q = OperandQueue("lq0", 2)
+        engine = StreamEngine(mem, max_streams=1)
+        engine.start(StreamDescriptor(StreamKind.LOAD, 0, 0, 1, target=q))
+        assert engine.idle()
+
+
+class TestStoreStream:
+    def test_store_consumes_data_queue(self):
+        mem = make_memory()
+        dq = OperandQueue("sdq0", 8)
+        for v in (5.0, 6.0, 7.0):
+            dq.push(v)
+        engine = StreamEngine(mem, max_streams=1)
+        engine.start(
+            StreamDescriptor(StreamKind.STORE, 20, 3, 1, data_queue=dq)
+        )
+        for t in range(20):
+            mem.tick(t)
+            engine.tick(t)
+        assert mem.storage.dump_array(20, 3).tolist() == [5.0, 6.0, 7.0]
+        assert engine.idle()
+
+    def test_store_waits_for_data(self):
+        mem = make_memory()
+        dq = OperandQueue("sdq0", 8)
+        engine = StreamEngine(mem, max_streams=1)
+        engine.start(
+            StreamDescriptor(StreamKind.STORE, 20, 1, 1, data_queue=dq)
+        )
+        engine.tick(0)
+        assert mem.storage.read(20) == 0.0
+        dq.push(9.0)
+        engine.tick(1)
+        assert mem.storage.read(20) == 9.0
+
+
+class TestGatherScatter:
+    def test_gather_chain(self):
+        mem = make_memory()
+        mem.storage.load_array(0, [30.0, 31.0, 32.0])   # table at 30..
+        mem.storage.load_array(30, [0.5, 1.5, 2.5])
+        iq = OperandQueue("iq0", 8)
+        lq = OperandQueue("lq0", 8)
+        engine = StreamEngine(mem, max_streams=2)
+        # indices land in iq via a load stream; gather consumes them
+        engine.start(StreamDescriptor(StreamKind.LOAD, 0, 3, 1, target=iq))
+        engine.start(
+            StreamDescriptor(
+                StreamKind.GATHER, 0, 3, target=lq, index_queue=iq
+            )
+        )
+        assert drain(engine, mem, lq, 3) == [0.5, 1.5, 2.5]
+
+    def test_scatter(self):
+        mem = make_memory()
+        iq = OperandQueue("iq0", 8)
+        dq = OperandQueue("sdq0", 8)
+        for idx, val in ((2, 20.0), (0, 21.0), (1, 22.0)):
+            iq.push(float(idx))
+            dq.push(val)
+        engine = StreamEngine(mem, max_streams=1)
+        engine.start(
+            StreamDescriptor(
+                StreamKind.SCATTER, 40, 3, data_queue=dq, index_queue=iq
+            )
+        )
+        for t in range(20):
+            mem.tick(t)
+            engine.tick(t)
+        assert mem.storage.dump_array(40, 3).tolist() == [21.0, 22.0, 20.0]
+
+
+class TestEngineLimits:
+    def test_slot_exhaustion(self):
+        mem = make_memory()
+        q = OperandQueue("lq0", 8)
+        engine = StreamEngine(mem, max_streams=1)
+        engine.start(StreamDescriptor(StreamKind.LOAD, 0, 8, 1, target=q))
+        assert not engine.has_free_slot()
+        with pytest.raises(SimulationError):
+            engine.start(
+                StreamDescriptor(StreamKind.LOAD, 0, 8, 1, target=q)
+            )
+
+    def test_issue_bandwidth(self):
+        mem = make_memory(accepts=4)
+        q1, q2 = OperandQueue("a", 16), OperandQueue("b", 16)
+        engine = StreamEngine(mem, max_streams=2, issue_per_cycle=1)
+        engine.start(StreamDescriptor(StreamKind.LOAD, 0, 8, 1, target=q1))
+        engine.start(StreamDescriptor(StreamKind.LOAD, 32, 8, 1, target=q2))
+        assert engine.tick(0) == 1  # one request despite two live streams
+
+    def test_round_robin_fairness(self):
+        mem = make_memory(accepts=4, busy=1)
+        q1, q2 = OperandQueue("a", 16), OperandQueue("b", 16)
+        engine = StreamEngine(mem, max_streams=2, issue_per_cycle=1)
+        engine.start(StreamDescriptor(StreamKind.LOAD, 0, 4, 1, target=q1))
+        engine.start(StreamDescriptor(StreamKind.LOAD, 32, 4, 1, target=q2))
+        for t in range(8):
+            mem.tick(t)
+            engine.tick(t)
+        # both streams progressed rather than one starving
+        assert len(q1) >= 3 and len(q2) >= 3
+
+    def test_queue_roles(self):
+        mem = make_memory()
+        q = OperandQueue("lq0", 8)
+        iq = OperandQueue("iq0", 8)
+        engine = StreamEngine(mem, max_streams=4)
+        engine.start(StreamDescriptor(StreamKind.LOAD, 0, 8, 1, target=iq))
+        engine.start(
+            StreamDescriptor(
+                StreamKind.GATHER, 0, 8, target=q, index_queue=iq
+            )
+        )
+        produced, consumed = engine.queue_roles_in_use()
+        assert produced == {iq, q}
+        assert consumed == {iq}

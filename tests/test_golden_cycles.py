@@ -1,0 +1,43 @@
+"""Exact-cycle regression guard.
+
+The simulator is deterministic, so the cycle counts of every suite kernel
+at the reference configuration are pinned to the values in
+``golden_cycles.json``.  If an intentional timing-model change moves them,
+regenerate with ``python scripts/update_golden.py`` and review the diff —
+every changed number should be explicable by the change you made.
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.harness.runner import run_on_scalar, run_on_sma, run_on_vector
+from repro.kernels import get_kernel, kernel_names
+from repro.kernels.lower_vector import VectorizationError
+
+GOLDEN = json.loads(
+    (pathlib.Path(__file__).parent / "golden_cycles.json").read_text()
+)
+
+
+def test_golden_covers_whole_suite():
+    assert sorted(GOLDEN["cycles"]) == kernel_names()
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN["cycles"]))
+def test_cycle_counts_pinned(name):
+    spec = get_kernel(name)
+    kernel, inputs = spec.instantiate(GOLDEN["n"], seed=GOLDEN["seed"])
+    want = GOLDEN["cycles"][name]
+    assert run_on_scalar(kernel, inputs).cycles == want["scalar"]
+    assert run_on_sma(kernel, inputs).cycles == want["sma"]
+    assert (
+        run_on_sma(kernel, inputs, use_streams=False).cycles
+        == want["sma_nostream"]
+    )
+    try:
+        vector = run_on_vector(kernel, inputs).cycles
+    except VectorizationError:
+        vector = None
+    assert vector == want["vector"]

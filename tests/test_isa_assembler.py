@@ -1,0 +1,137 @@
+"""Assembler: syntax, labels, diagnostics."""
+
+import pytest
+
+from repro.errors import AssemblyError
+from repro.isa import Imm, Op, Reg, assemble
+from repro.isa.operands import lq
+
+
+class TestBasics:
+    def test_simple_program(self):
+        prog = assemble("mov r1, #5\nhalt")
+        assert len(prog) == 2
+        assert prog[0].op is Op.MOV
+        assert prog[0].dest == Reg(1)
+        assert prog[0].srcs == (Imm(5),)
+
+    def test_comments_and_blank_lines(self):
+        prog = assemble(
+            """
+            ; a comment
+            mov r1, #1   ; trailing comment
+
+            halt
+            """
+        )
+        assert len(prog) == 2
+
+    def test_case_insensitive_mnemonics(self):
+        prog = assemble("MOV r1, #1\nHALT")
+        assert prog[0].op is Op.MOV
+
+    def test_queue_operands(self):
+        prog = assemble("add sdq0, lq0, lq1\nhalt", require_halt=False)
+        assert prog[0].queue_sources() == (lq(0), lq(1))
+
+
+class TestLabels:
+    def test_forward_and_backward(self):
+        prog = assemble(
+            """
+            jmp fwd
+            top: nop
+            fwd: beqz r1, top
+            halt
+            """
+        )
+        assert prog[0].branch_target() == 2
+        assert prog[2].branch_target() == 1
+        assert prog.labels == {"top": 1, "fwd": 2}
+
+    def test_label_on_own_line(self):
+        prog = assemble("top:\n  jmp top\n  halt")
+        assert prog[0].branch_target() == 0
+
+    def test_multiple_labels_one_target(self):
+        prog = assemble("a: b: nop\njmp a\njmp b\nhalt")
+        assert prog[1].branch_target() == 0
+        assert prog[2].branch_target() == 0
+
+    def test_duplicate_label(self):
+        with pytest.raises(AssemblyError, match="duplicate"):
+            assemble("x: nop\nx: halt")
+
+    def test_undefined_label(self):
+        with pytest.raises(AssemblyError, match="undefined"):
+            assemble("jmp nowhere\nhalt")
+
+    def test_label_colliding_with_mnemonic(self):
+        with pytest.raises(AssemblyError, match="mnemonic"):
+            assemble("add: nop\nhalt")
+
+
+class TestDataDirective:
+    def test_data_segments_collected(self):
+        prog = assemble(".data 100, 1.5, 2.5\n.data 200, 7\nhalt")
+        assert prog.data == ((100, (1.5, 2.5)), (200, (7.0,)))
+
+    def test_data_staged_into_machines(self):
+        from repro.baseline import ScalarMachine
+        from repro.core import SMAMachine
+
+        prog = assemble(".data 50, 3.25\nhalt")
+        scalar = ScalarMachine(prog)
+        assert scalar.memory.read(50) == 3.25
+        sma = SMAMachine(prog, assemble("halt"))
+        assert sma.memory.read(50) == 3.25
+
+    def test_data_roundtrips_through_disassembler(self):
+        from repro.isa import disassemble
+
+        prog = assemble(".data 10, 1.0, -2.5\nhalt")
+        again = assemble(disassemble(prog), require_halt=False)
+        assert again.data == prog.data
+
+    def test_unknown_directive(self):
+        with pytest.raises(AssemblyError, match="unknown directive"):
+            assemble(".org 100\nhalt")
+
+    def test_data_needs_values(self):
+        with pytest.raises(AssemblyError, match="at least one value"):
+            assemble(".data 100\nhalt")
+
+    def test_bad_base(self):
+        with pytest.raises(AssemblyError, match="base"):
+            assemble(".data -3, 1.0\nhalt")
+        with pytest.raises(AssemblyError, match="base"):
+            assemble(".data 1.5, 1.0\nhalt")
+
+
+class TestDiagnostics:
+    def test_unknown_mnemonic_with_line(self):
+        with pytest.raises(AssemblyError, match="line 2"):
+            assemble("nop\nfrobnicate r1\nhalt")
+
+    def test_operand_count_error(self):
+        with pytest.raises(AssemblyError, match="expects 3 operand"):
+            assemble("add r1, r2\nhalt")
+
+    def test_missing_halt(self):
+        with pytest.raises(AssemblyError, match="no halt"):
+            assemble("nop")
+
+    def test_require_halt_false(self):
+        assert len(assemble("nop", require_halt=False)) == 1
+
+    def test_empty_operand(self):
+        with pytest.raises(AssemblyError):
+            assemble("add r1, , r2\nhalt")
+
+    def test_numeric_branch_target_in_range(self):
+        prog = assemble("jmp 1\nhalt")
+        assert prog[0].branch_target() == 1
+
+    def test_numeric_branch_target_out_of_range(self):
+        with pytest.raises(AssemblyError, match="out of range"):
+            assemble("jmp 99\nhalt")

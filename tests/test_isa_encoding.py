@@ -1,0 +1,89 @@
+"""Binary encoding round-trips and error paths."""
+
+import pytest
+
+from repro.errors import EncodingError
+from repro.isa import (
+    EAQ,
+    Imm,
+    Label,
+    Op,
+    Reg,
+    assemble,
+    decode_instruction,
+    decode_program,
+    encode_instruction,
+    encode_program,
+    ins,
+)
+from repro.isa.operands import lq, sdq
+
+
+def roundtrip(instr):
+    decoded, offset = decode_instruction(encode_instruction(instr))
+    assert offset == len(encode_instruction(instr))
+    return decoded
+
+
+class TestInstructionRoundTrip:
+    @pytest.mark.parametrize(
+        "instr",
+        [
+            ins(Op.HALT),
+            ins(Op.NOP),
+            ins(Op.ADD, Reg(1), Reg(2), Reg(3)),
+            ins(Op.MOV, Reg(31), Imm(-123456789)),
+            ins(Op.MOV, Reg(0), Imm(2.718281828)),
+            ins(Op.STREAMLD, lq(7), Imm(1000), Imm(-1), Imm(64)),
+            ins(Op.STREAMST, None, sdq(3), Reg(4), Imm(8), Imm(256)),
+            ins(Op.SEL, Reg(1), Reg(2), Imm(0.5), Imm(1)),
+            ins(Op.FROMQ, Reg(9), EAQ),
+            ins(Op.JMP, None, Imm(12)),
+            ins(Op.STORE, None, Reg(1), Imm(500), Imm(0)),
+        ],
+    )
+    def test_roundtrip_identity(self, instr):
+        assert roundtrip(instr) == instr
+
+    def test_int_float_immediates_distinguished(self):
+        assert isinstance(roundtrip(ins(Op.MOV, Reg(1), Imm(3))).srcs[0].value, int)
+        assert isinstance(
+            roundtrip(ins(Op.MOV, Reg(1), Imm(3.0))).srcs[0].value, float
+        )
+
+    def test_unresolved_label_rejected(self):
+        with pytest.raises(EncodingError, match="label"):
+            encode_instruction(ins(Op.JMP, None, Label("x")))
+
+    def test_int64_overflow_rejected(self):
+        with pytest.raises(EncodingError, match="int64"):
+            encode_instruction(ins(Op.MOV, Reg(1), Imm(2**64)))
+
+
+class TestProgramRoundTrip:
+    def test_program(self):
+        prog = assemble(
+            """
+            mov a1, #100
+            streamld lq0, a1, #1, #32
+            top: add sdq0, lq0, #1.5
+            decbnz a2, top
+            halt
+            """
+        )
+        decoded = decode_program(encode_program(prog))
+        assert decoded.instructions == prog.instructions
+
+    def test_bad_magic(self):
+        with pytest.raises(EncodingError, match="magic"):
+            decode_program(b"XXXX\x00\x00\x00\x00")
+
+    def test_truncated(self):
+        data = encode_program(assemble("mov r1, #1\nhalt"))
+        with pytest.raises(EncodingError):
+            decode_program(data[:-4])
+
+    def test_trailing_bytes(self):
+        data = encode_program(assemble("halt"))
+        with pytest.raises(EncodingError, match="trailing"):
+            decode_program(data + b"\x00" * 8)

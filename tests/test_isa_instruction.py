@@ -1,0 +1,63 @@
+"""Instruction construction, shape validation, branch target handling."""
+
+import pytest
+
+from repro.errors import AssemblyError
+from repro.isa import Imm, Instruction, Label, Op, Reg, ins
+from repro.isa.operands import lq, sdq
+
+
+class TestShapeValidation:
+    def test_wrong_source_count(self):
+        with pytest.raises(AssemblyError, match="2 source"):
+            ins(Op.ADD, Reg(1), Reg(2))
+
+    def test_missing_dest(self):
+        with pytest.raises(AssemblyError, match="destination"):
+            Instruction(Op.ADD, None, (Reg(1), Reg(2)))
+
+    def test_unexpected_dest(self):
+        with pytest.raises(AssemblyError, match="no destination"):
+            Instruction(Op.STORE, Reg(1), (Reg(1), Reg(2), Imm(0)))
+
+    def test_immediate_dest_rejected(self):
+        with pytest.raises(AssemblyError, match="destination"):
+            ins(Op.ADD, Imm(1), Reg(2), Reg(3))
+
+    def test_branch_target_must_be_label_or_imm(self):
+        with pytest.raises(AssemblyError, match="target"):
+            ins(Op.JMP, None, Reg(3))
+
+    def test_halt_takes_nothing(self):
+        instr = ins(Op.HALT)
+        assert instr.dest is None and instr.srcs == ()
+
+
+class TestQueries:
+    def test_queue_sources(self):
+        instr = ins(Op.ADD, Reg(1), lq(0), lq(1))
+        assert instr.queue_sources() == (lq(0), lq(1))
+
+    def test_queue_dest(self):
+        assert ins(Op.MOV, sdq(0), Reg(1)).queue_dest() == sdq(0)
+        assert ins(Op.MOV, Reg(1), Reg(2)).queue_dest() is None
+
+    def test_branch_target_unresolved_raises(self):
+        instr = ins(Op.JMP, None, Label("somewhere"))
+        with pytest.raises(AssemblyError, match="not resolved"):
+            instr.branch_target()
+
+    def test_with_target(self):
+        instr = ins(Op.BEQZ, None, Reg(1), Label("x")).with_target(7)
+        assert instr.branch_target() == 7
+
+    def test_str(self):
+        assert str(ins(Op.ADD, Reg(1), Reg(2), Imm(3))) == "add r1, r2, #3"
+        assert str(ins(Op.HALT)) == "halt"
+
+
+class TestImmutability:
+    def test_frozen(self):
+        instr = ins(Op.NOP)
+        with pytest.raises(AttributeError):
+            instr.op = Op.HALT

@@ -1,0 +1,84 @@
+"""Operand model: construction rules, parsing, printing."""
+
+import pytest
+
+from repro.isa import EAQ, EBQ, SAQ, Imm, Label, Queue, QueueSpace, Reg
+from repro.isa.operands import iq, lq, parse_operand, sdq
+
+
+class TestReg:
+    def test_valid_range(self):
+        assert Reg(0).index == 0
+        assert Reg(31).index == 31
+
+    @pytest.mark.parametrize("bad", [-1, 32, 100])
+    def test_out_of_range(self, bad):
+        with pytest.raises(ValueError):
+            Reg(bad)
+
+    def test_str(self):
+        assert str(Reg(7)) == "r7"
+
+    def test_hashable_equality(self):
+        assert Reg(3) == Reg(3)
+        assert len({Reg(3), Reg(3), Reg(4)}) == 2
+
+
+class TestQueue:
+    def test_singleton_spaces_reject_nonzero_index(self):
+        for space in (QueueSpace.SAQ, QueueSpace.EAQ, QueueSpace.EBQ):
+            with pytest.raises(ValueError):
+                Queue(space, 1)
+
+    def test_negative_index(self):
+        with pytest.raises(ValueError):
+            Queue(QueueSpace.LQ, -1)
+
+    def test_str_forms(self):
+        assert str(lq(0)) == "lq0"
+        assert str(sdq(2)) == "sdq2"
+        assert str(iq(1)) == "iq1"
+        assert str(SAQ) == "saq"
+        assert str(EAQ) == "eaq"
+        assert str(EBQ) == "ebq"
+
+
+class TestParseOperand:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("r5", Reg(5)),
+            ("a12", Reg(12)),
+            ("x0", Reg(0)),
+            ("lq3", lq(3)),
+            ("sdq1", sdq(1)),
+            ("iq2", iq(2)),
+            ("saq", SAQ),
+            ("eaq", EAQ),
+            ("ebq", EBQ),
+            ("#42", Imm(42)),
+            ("#-3", Imm(-3)),
+            ("#2.5", Imm(2.5)),
+            ("7", Imm(7)),
+            ("0x10", Imm(16)),
+            ("loop", Label("loop")),
+            ("my_label", Label("my_label")),
+        ],
+    )
+    def test_parses(self, text, expected):
+        assert parse_operand(text) == expected
+
+    def test_whitespace_stripped(self):
+        assert parse_operand("  r3  ") == Reg(3)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            parse_operand("   ")
+
+    def test_bad_immediate_rejected(self):
+        with pytest.raises(ValueError):
+            parse_operand("#notanumber")
+
+    def test_int_vs_float_immediates_distinct(self):
+        assert isinstance(parse_operand("#3").value, int)
+        assert isinstance(parse_operand("#3.0").value, float)

@@ -1,0 +1,179 @@
+"""Kernel IR: construction rules, validation, traversal."""
+
+import pytest
+
+from repro.errors import KernelError
+from repro.kernels import (
+    Affine,
+    ArrayDecl,
+    Assign,
+    BinOp,
+    Cmp,
+    Computed,
+    Const,
+    Indirect,
+    Kernel,
+    Loop,
+    Reduce,
+    Ref,
+    Select,
+    UnOp,
+    expr_refs,
+    loop_nest,
+)
+
+
+def aff(off=0, **coeffs):
+    return Affine.of(off, **coeffs)
+
+
+def simple_kernel(body, arrays=None):
+    arrays = arrays or (ArrayDecl("x", 16), ArrayDecl("y", 16))
+    return Kernel("k", arrays, body)
+
+
+class TestAffine:
+    def test_evaluate(self):
+        a = aff(3, i=2, j=-1)
+        assert a.evaluate({"i": 5, "j": 4}) == 9
+
+    def test_coeff_lookup(self):
+        a = aff(0, i=2)
+        assert a.coeff("i") == 2
+        assert a.coeff("j") == 0
+
+    def test_shifted(self):
+        assert aff(1, i=1).shifted(-2) == aff(-1, i=1)
+
+    def test_zero_coeffs_dropped_by_at_helper(self):
+        from repro.kernels.suite import at
+        assert at("x", 5, i=0).index == aff(5)
+
+
+class TestNodeValidation:
+    def test_unknown_binop(self):
+        with pytest.raises(KernelError):
+            BinOp("**", Const(1), Const(2))
+
+    def test_unknown_unop(self):
+        with pytest.raises(KernelError):
+            UnOp("sin", Const(1))
+
+    def test_unknown_cmp(self):
+        with pytest.raises(KernelError):
+            Cmp(">", Const(1), Const(2))
+
+    def test_indirect_subscript_must_be_affine(self):
+        inner = Ref("x", Computed(Const(1)))
+        with pytest.raises(KernelError):
+            Indirect(inner)
+
+    def test_reduce_target_must_be_affine(self):
+        with pytest.raises(KernelError, match="affine"):
+            Reduce("+", Ref("x", Indirect(Ref("y", aff(0, i=1)))), Const(1))
+
+    def test_reduce_target_rejects_innermost_var(self):
+        with pytest.raises(KernelError, match="innermost"):
+            simple_kernel((Loop("i", 4, (
+                Reduce("+", Ref("y", aff(0, i=1)), Ref("x", aff(0, i=1))),
+            )),))
+
+    def test_reduce_target_may_use_outer_var(self):
+        inner = Loop("i", 4, (
+            Reduce("+", Ref("y", aff(0, j=1)), Ref("x", aff(0, i=1, j=4))),
+        ))
+        simple_kernel((Loop("j", 2, (inner,)),),
+                      arrays=(ArrayDecl("x", 16), ArrayDecl("y", 4)))
+
+    def test_loop_count_positive(self):
+        with pytest.raises(KernelError):
+            Loop("i", 0, (Assign(Ref("x", aff(0, i=1)), Const(1)),))
+
+    def test_loop_body_nonempty(self):
+        with pytest.raises(KernelError):
+            Loop("i", 4, ())
+
+    def test_array_size_positive(self):
+        with pytest.raises(KernelError):
+            ArrayDecl("x", 0)
+
+
+class TestKernelValidation:
+    def test_undeclared_array(self):
+        with pytest.raises(KernelError, match="undeclared"):
+            simple_kernel((Loop("i", 4, (
+                Assign(Ref("zzz", aff(0, i=1)), Const(1)),
+            )),))
+
+    def test_unbound_loop_var(self):
+        with pytest.raises(KernelError, match="unbound"):
+            simple_kernel((Loop("i", 4, (
+                Assign(Ref("x", aff(0, j=1)), Const(1)),
+            )),))
+
+    def test_top_level_must_be_loops(self):
+        with pytest.raises(KernelError, match="loops"):
+            simple_kernel((Assign(Ref("x", aff(0)), Const(1)),))
+
+    def test_depth_limit(self):
+        inner = Loop("k", 2, (Assign(Ref("x", aff(0, k=1)), Const(1)),))
+        mid = Loop("j", 2, (inner,))
+        with pytest.raises(KernelError, match="deeper"):
+            simple_kernel((Loop("i", 2, (mid,)),))
+
+    def test_shadowed_var(self):
+        inner = Loop("i", 2, (Assign(Ref("x", aff(0, i=1)), Const(1)),))
+        with pytest.raises(KernelError, match="shadowed"):
+            simple_kernel((Loop("i", 2, (inner,)),))
+
+    def test_mixed_loop_and_statement_body(self):
+        inner = Loop("j", 2, (Assign(Ref("x", aff(0, j=1)), Const(1)),))
+        with pytest.raises(KernelError, match="not both"):
+            simple_kernel((Loop("i", 2, (
+                inner, Assign(Ref("x", aff(0, i=1)), Const(1)),
+            )),))
+
+    def test_duplicate_arrays(self):
+        with pytest.raises(KernelError, match="duplicate"):
+            Kernel("k", (ArrayDecl("x", 4), ArrayDecl("x", 4)),
+                   (Loop("i", 2, (Assign(Ref("x", aff(0, i=1)), Const(1)),)),))
+
+
+class TestTraversal:
+    def test_expr_refs_descends_into_subscripts(self):
+        expr = Ref("a", Indirect(Ref("b", aff(0, i=1))))
+        names = [r.array for r in expr_refs(expr)]
+        assert names == ["a", "b"]
+
+    def test_expr_refs_computed(self):
+        expr = Ref("a", Computed(BinOp("+", Ref("c", aff(0, i=1)), Const(1))))
+        names = [r.array for r in expr_refs(expr)]
+        assert names == ["a", "c"]
+
+    def test_expr_refs_select(self):
+        expr = Select(
+            Cmp("<", Ref("x", aff(0, i=1)), Const(0)),
+            Ref("y", aff(0, i=1)),
+            Const(0),
+        )
+        assert [r.array for r in expr_refs(expr)] == ["x", "y"]
+
+    def test_loop_nest(self):
+        k = simple_kernel((
+            Loop("i", 2, (Loop("j", 2, (
+                Assign(Ref("x", aff(0, i=1, j=1)), Const(1)),
+            )),)),
+            Loop("k", 2, (Assign(Ref("y", aff(0, k=1)), Const(1)),)),
+        ))
+        nests = loop_nest(k)
+        assert [tuple(l.var for l in nest) for nest in nests] == [
+            ("i", "j"), ("k",),
+        ]
+
+    def test_pretty_roundtrip_smoke(self):
+        k = simple_kernel((Loop("i", 4, (
+            Assign(Ref("x", aff(0, i=1)),
+                   BinOp("*", Ref("y", aff(0, i=1)), Const(2))),
+        )),))
+        text = k.pretty()
+        assert "kernel k" in text and "x[i]" in text

@@ -1,0 +1,107 @@
+"""Scalar code generator: structure and correctness properties."""
+
+import numpy as np
+import pytest
+
+from repro.errors import LoweringError
+from repro.isa import Op
+from repro.kernels import (
+    ArrayDecl,
+    Assign,
+    BinOp,
+    Computed,
+    Const,
+    Kernel,
+    Loop,
+    get_kernel,
+    lower_scalar,
+    run_reference,
+)
+from repro.kernels.suite import at, c
+from repro.harness.runner import run_on_scalar
+
+
+class TestProgramShape:
+    def test_loop_closed_with_decbnz(self):
+        kernel, _ = get_kernel("daxpy").instantiate(16)
+        prog = lower_scalar(kernel).program
+        assert sum(1 for i in prog if i.op is Op.DECBNZ) == 1
+        assert prog.instructions[-1].op is Op.HALT
+
+    def test_strength_reduction_no_mul_in_1d_loop(self):
+        # a simple 1-D kernel needs no index multiplies at all
+        kernel, _ = get_kernel("daxpy").instantiate(16)
+        prog = lower_scalar(kernel).program
+        assert not any(i.op is Op.MUL and isinstance(i.srcs[0].value, int)
+                       if hasattr(i.srcs[0], "value") else False
+                       for i in prog if i.op is Op.MUL and not i.srcs)
+
+    def test_memory_traffic_counts(self):
+        n = 16
+        kernel, inputs = get_kernel("daxpy").instantiate(n)
+        run = run_on_scalar(kernel, inputs)
+        # x load + y load + y store per element (CSE keeps y to one load)
+        assert run.result.loads == 2 * n
+        assert run.result.stores == n
+
+    def test_cse_single_load_for_repeated_ref(self):
+        n = 8
+        kernel, inputs = get_kernel("integrate").instantiate(n)
+        run = run_on_scalar(kernel, inputs)
+        # px[i] used twice but loaded once
+        assert run.result.loads == n
+
+    def test_layout_shared_with_reference(self):
+        kernel, _ = get_kernel("hydro").instantiate(8)
+        lowered = lower_scalar(kernel)
+        assert lowered.layout.base("x") == 16
+        assert lowered.layout.base("y") == 24
+        assert lowered.layout.base("z") == 32
+
+
+class TestUnsupported:
+    def test_computed_store_rejected(self):
+        kernel = Kernel(
+            "bad",
+            (ArrayDecl("a", 8), ArrayDecl("b", 8)),
+            (Loop("i", 8, (
+                Assign(
+                    # store target with computed subscript
+                    type(at("a"))("a", Computed(at("b", i=1))),
+                    Const(1.0),
+                ),
+            )),),
+        )
+        with pytest.raises(LoweringError, match="computed store"):
+            lower_scalar(kernel)
+
+
+class TestCorrectnessOnHandBuiltKernels:
+    def test_two_statement_raw_within_iteration(self):
+        """statement 2 reads what statement 1 wrote — sequential machine
+        must honour it (the SMA lowering rejects this, scalar must not)."""
+        kernel = Kernel(
+            "raw",
+            (ArrayDecl("a", 8), ArrayDecl("b", 8)),
+            (Loop("i", 8, (
+                Assign(at("a", i=1), BinOp("*", at("b", i=1), c(2.0))),
+                Assign(at("b", i=1), BinOp("+", at("a", i=1), c(1.0))),
+            )),),
+        )
+        rng = np.random.default_rng(7)
+        inputs = {"a": np.zeros(8), "b": rng.uniform(0.1, 1, 8)}
+        golden = run_reference(kernel, inputs)
+        run = run_on_scalar(kernel, inputs)
+        for name in ("a", "b"):
+            np.testing.assert_array_equal(run.outputs[name], golden[name])
+
+    def test_outer_var_used_in_inner_pointer(self):
+        kernel, inputs = get_kernel("stencil2d").instantiate(64)
+        golden = run_reference(kernel, inputs)
+        run = run_on_scalar(kernel, inputs)
+        np.testing.assert_array_equal(run.outputs["out"], golden["out"])
+
+    def test_register_high_water_within_budget(self):
+        for name in ("state_eqn", "conv4", "stencil2d"):
+            kernel, _ = get_kernel(name).instantiate(8)
+            lower_scalar(kernel)  # raises LoweringError if out of registers

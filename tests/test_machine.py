@@ -1,0 +1,179 @@
+"""Coupled SMA machine: end-to-end programs, termination, diagnostics."""
+
+import pytest
+
+from repro.config import MemoryConfig, QueueConfig, SMAConfig
+from repro.core import SMAMachine
+from repro.errors import SimulationError
+from repro.isa import assemble
+
+
+def machine(ap_src, ep_src, config=None):
+    return SMAMachine(assemble(ap_src, "ap"), assemble(ep_src, "ep"),
+                      config or SMAConfig())
+
+
+class TestEndToEnd:
+    def test_vector_triad(self):
+        n = 16
+        m = machine(f"""
+            streamld lq0, #100, #1, #{n}
+            streamld lq1, #200, #1, #{n}
+            streamst sdq0, #300, #1, #{n}
+            halt
+        """, f"""
+            mov x1, #{n}
+            t: mul x2, lq0, #2.0
+            add sdq0, x2, lq1
+            decbnz x1, t
+            halt
+        """)
+        m.load_array(100, [float(i) for i in range(n)])
+        m.load_array(200, [1.0] * n)
+        res = m.run()
+        assert m.dump_array(300, n).tolist() == [2.0 * i + 1 for i in range(n)]
+        assert res.memory_reads == 2 * n
+        assert res.memory_writes == n
+
+    def test_decoupling_hides_latency(self):
+        """The whole point: cycles ≈ n for a streaming loop even with a
+        long memory latency."""
+        n = 64
+        cfg = SMAConfig(memory=MemoryConfig(latency=16, bank_busy=4,
+                                            num_banks=8))
+        m = machine(f"""
+            streamld lq0, #100, #1, #{n}
+            streamst sdq0, #400, #1, #{n}
+            halt
+        """, f"""
+            mov x1, #{n}
+            t: add sdq0, lq0, #1.0
+            decbnz x1, t
+            halt
+        """, cfg)
+        m.load_array(100, [0.5] * n)
+        res = m.run()
+        # 2 memory ops per element at 1 accept/cycle is the floor
+        assert res.cycles < 2.5 * n + 3 * 16
+
+    def test_result_summary_strings(self):
+        m = machine("halt", "halt")
+        res = m.run()
+        assert "cycles" in res.summary()
+        assert res.instructions == 2
+
+
+class TestTermination:
+    def test_waits_for_streams_to_drain(self):
+        # AP halts immediately after starting a store stream; the machine
+        # must stay alive until the store lands
+        m = machine("""
+            streamst sdq0, #50, #1, #1
+            halt
+        """, """
+            mov sdq0, #3.5
+            halt
+        """)
+        m.run()
+        assert m.memory.read(50) == 3.5
+
+    def test_waits_for_saq_to_drain(self):
+        m = machine("""
+            staddr sdq0, #60, #0
+            halt
+        """, """
+            mov x1, #30
+            t: decbnz x1, t
+            mov sdq0, #1.25
+            halt
+        """)
+        m.run()
+        assert m.memory.read(60) == 1.25
+
+    def test_deadlock_diagnostic_mentions_stalls(self):
+        m = machine("halt", "mov x1, lq0\nhalt")
+        with pytest.raises(SimulationError, match="lq_empty"):
+            m.run(deadlock_window=100)
+
+    def test_cycle_budget(self):
+        m = machine("""
+            mov a1, #1000000
+            t: decbnz a1, t
+            halt
+        """, "halt")
+        with pytest.raises(SimulationError, match="cycle budget"):
+            m.run(max_cycles=500)
+
+
+class TestStatistics:
+    def test_queue_stats_exported(self):
+        m = machine("""
+            streamld lq0, #10, #1, #8
+            halt
+        """, """
+            mov x1, #8
+            t: mov x2, lq0
+            decbnz x1, t
+            halt
+        """)
+        res = m.run()
+        assert res.queue_stats["lq0"].pushes == 8
+        assert res.queue_stats["lq0"].pops == 8
+
+    def test_outstanding_loads_tracked(self):
+        cfg = SMAConfig(
+            memory=MemoryConfig(latency=8, bank_busy=1, num_banks=8),
+            queues=QueueConfig(load_queue_depth=8),
+        )
+        m = machine("""
+            streamld lq0, #0, #1, #64
+            halt
+        """, """
+            mov x1, #64
+            t: mov x2, lq0
+            decbnz x1, t
+            halt
+        """, cfg)
+        res = m.run()
+        assert res.mean_outstanding_loads > 1.0
+        assert res.max_outstanding_loads <= 8
+
+    def test_observer_called_every_cycle(self):
+        seen = []
+        m = machine("nop\nnop\nhalt", "halt")
+        m.run(observer=lambda mach, cyc: seen.append(cyc))
+        assert seen == list(range(len(seen)))
+        assert len(seen) >= 3
+
+    def test_memory_utilization_bounded(self):
+        m = machine("""
+            streamld lq0, #0, #1, #32
+            halt
+        """, """
+            mov x1, #32
+            t: mov x2, lq0
+            decbnz x1, t
+            halt
+        """)
+        res = m.run()
+        assert 0.0 < res.memory_utilization <= 1.0
+
+
+class TestSerialization:
+    def test_result_to_dict_json_safe(self):
+        import json
+
+        m = machine("""
+            streamld lq0, #10, #1, #4
+            halt
+        """, """
+            mov x1, #4
+            t: mov x2, lq0
+            decbnz x1, t
+            halt
+        """)
+        res = m.run()
+        payload = json.loads(json.dumps(res.to_dict()))
+        assert payload["cycles"] == res.cycles
+        assert payload["stream_requests"] == 4
+        assert "ap_stalls" in payload and "lod_events" in payload

@@ -1,0 +1,117 @@
+"""BankedMemory timing: latency, bank conflicts, port limit, ordering."""
+
+import pytest
+
+from repro.config import MemoryConfig
+from repro.memory import BankedMemory, MainMemory
+
+
+def make(latency=4, banks=4, busy=2, accepts=1, size=256):
+    cfg = MemoryConfig(
+        size=size, num_banks=banks, latency=latency, bank_busy=busy,
+        accepts_per_cycle=accepts,
+    )
+    return BankedMemory(MainMemory(size), cfg)
+
+
+class TestLatency:
+    def test_read_completes_after_latency(self):
+        mem = make(latency=4)
+        mem.storage.write(8, 7.5)
+        got = []
+        assert mem.try_issue(8, now=0, on_complete=got.append)
+        for t in range(4):
+            mem.tick(t)
+            assert got == []
+        mem.tick(4)
+        assert got == [7.5]
+
+    def test_write_visible_immediately_functionally(self):
+        mem = make()
+        assert mem.try_issue(3, now=0, is_write=True, value=2.5)
+        assert mem.storage.read(3) == 2.5
+
+    def test_read_captures_value_at_issue(self):
+        # a later write must not corrupt an in-flight read
+        mem = make(latency=4, busy=1, accepts=2)
+        mem.storage.write(0, 1.0)
+        got = []
+        assert mem.try_issue(0, now=0, on_complete=got.append)
+        mem.storage.write(0, 9.0)  # direct functional overwrite
+        mem.tick(4)
+        assert got == [1.0]
+
+
+class TestBankConflicts:
+    def test_same_bank_rejected_within_busy_window(self):
+        mem = make(banks=4, busy=3, accepts=2)
+        assert mem.try_issue(0, now=0)          # bank 0
+        assert not mem.try_issue(4, now=0)      # bank 0 again -> conflict
+        assert mem.stats.bank_conflicts == 1
+
+    def test_different_bank_accepted_same_cycle(self):
+        mem = make(banks=4, busy=3, accepts=2)
+        assert mem.try_issue(0, now=0)
+        assert mem.try_issue(1, now=0)
+
+    def test_bank_frees_after_busy(self):
+        mem = make(banks=4, busy=2)
+        assert mem.try_issue(0, now=0)
+        assert not mem.can_accept(0, 1)
+        assert mem.can_accept(0, 2)
+
+    def test_per_bank_accounting(self):
+        mem = make(banks=2, busy=1, accepts=4)
+        mem.try_issue(0, now=0)
+        mem.try_issue(1, now=0)
+        mem.try_issue(2, now=1)
+        assert mem.stats.per_bank_accesses == [2, 1]
+
+
+class TestPortLimit:
+    def test_accepts_per_cycle(self):
+        mem = make(banks=8, busy=1, accepts=1)
+        assert mem.try_issue(0, now=0)
+        assert not mem.try_issue(1, now=0)  # port saturated
+        assert mem.stats.port_rejects == 1
+        assert mem.try_issue(1, now=1)
+
+    def test_can_accept_respects_port(self):
+        mem = make(banks=8, busy=1, accepts=1)
+        mem.try_issue(0, now=0)
+        assert not mem.can_accept(1, 0)
+        assert mem.can_accept(1, 1)
+
+
+class TestStats:
+    def test_counts(self):
+        mem = make(accepts=4, busy=1)
+        mem.try_issue(0, now=0)
+        mem.try_issue(1, now=0, is_write=True, value=1.0)
+        assert mem.stats.reads == 1
+        assert mem.stats.writes == 1
+
+    def test_utilization(self):
+        mem = make(banks=2, busy=2, accepts=2)
+        mem.try_issue(0, now=0)
+        # one request occupies a bank for 2 cycles: 2 / (4 cycles * 2 banks)
+        assert mem.stats.utilization(4, 2) == pytest.approx(0.25)
+
+    def test_quiescent(self):
+        mem = make(latency=2)
+        got = []
+        mem.try_issue(0, now=0, on_complete=got.append)
+        assert not mem.quiescent()
+        mem.tick(2)
+        assert mem.quiescent()
+
+
+class TestOrdering:
+    def test_completions_fire_in_time_order(self):
+        mem = make(latency=3, banks=8, busy=1, accepts=2)
+        order = []
+        mem.try_issue(0, now=0, on_complete=lambda v: order.append("a"))
+        mem.try_issue(1, now=1, on_complete=lambda v: order.append("b"))
+        for t in range(6):
+            mem.tick(t)
+        assert order == ["a", "b"]

@@ -1,0 +1,84 @@
+"""DataCache: hit/miss timing, LRU, write-back accounting."""
+
+import pytest
+
+from repro.config import CacheConfig
+from repro.memory import DataCache
+
+
+def make(size=32, line=4, assoc=2, latency=8):
+    return DataCache(
+        CacheConfig(size_words=size, line_words=line, associativity=assoc),
+        memory_latency=latency,
+    )
+
+
+class TestTiming:
+    def test_cold_miss_then_hit(self):
+        c = make()
+        miss = c.access(0, is_write=False)
+        hit = c.access(1, is_write=False)  # same 4-word line
+        assert miss == 1 + 8 + 3  # hit_time + latency + (line-1)*transfer
+        assert hit == 1
+        assert c.stats.hits == 1 and c.stats.misses == 1
+
+    def test_line_granularity(self):
+        c = make(line=4)
+        c.access(0, False)
+        assert c.access(3, False) == 1   # same line
+        assert c.access(4, False) > 1    # next line misses
+
+    def test_dirty_eviction_costs_writeback(self):
+        c = make(size=8, line=4, assoc=1)  # 2 sets, direct mapped
+        c.access(0, is_write=True)      # line 0 -> set 0, dirty
+        clean_miss = 1 + 8 + 3
+        # line at address 8 maps to set 0 (8//4=2, 2%2=0): evicts dirty line
+        cost = c.access(8, is_write=False)
+        assert cost == clean_miss + 4   # + line_words * transfer
+        assert c.stats.writebacks == 1
+
+    def test_clean_eviction_free(self):
+        c = make(size=8, line=4, assoc=1)
+        c.access(0, False)
+        cost = c.access(8, False)
+        assert cost == 1 + 8 + 3
+        assert c.stats.writebacks == 0
+
+
+class TestLRU:
+    def test_least_recently_used_evicted(self):
+        c = make(size=8, line=4, assoc=2)  # 1 set, 2 ways
+        c.access(0, False)    # line A
+        c.access(4, False)    # line B
+        c.access(0, False)    # touch A (B now LRU)
+        c.access(8, False)    # line C evicts B
+        assert c.access(0, False) == 1      # A still resident
+        assert c.access(4, False) > 1       # B was evicted
+
+
+class TestStats:
+    def test_hit_rate(self):
+        c = make()
+        c.access(0, False)
+        c.access(1, False)
+        c.access(2, False)
+        c.access(3, False)
+        assert c.stats.hit_rate == pytest.approx(0.75)
+
+    def test_flush_cycles(self):
+        c = make(line=4)            # 4 sets
+        c.access(0, True)           # set 0, dirty
+        c.access(4, True)           # set 1, dirty
+        c.access(8, False)          # set 2, clean
+        assert c.flush_cycles() == 2 * 4 * 1
+        assert c.flush_cycles() == 0  # idempotent
+
+
+class TestConfigValidation:
+    def test_size_multiple_required(self):
+        with pytest.raises(ValueError):
+            CacheConfig(size_words=10, line_words=4, associativity=2)
+
+    def test_num_sets(self):
+        assert CacheConfig(size_words=32, line_words=4,
+                           associativity=2).num_sets == 4

@@ -1,0 +1,71 @@
+"""MainMemory functional behaviour and address coercion."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MemoryError_
+from repro.memory import MainMemory, as_address
+
+
+class TestAsAddress:
+    def test_int(self):
+        assert as_address(5) == 5
+
+    def test_integral_float(self):
+        assert as_address(5.0) == 5
+
+    def test_numpy_scalar(self):
+        assert as_address(np.float64(8.0)) == 8
+
+    def test_fractional_rejected(self):
+        with pytest.raises(MemoryError_, match="non-integral"):
+            as_address(5.5)
+
+
+class TestMainMemory:
+    def test_read_write(self):
+        m = MainMemory(64)
+        m.write(10, 3.25)
+        assert m.read(10) == 3.25
+
+    def test_zero_initialized(self):
+        assert MainMemory(8).read(7) == 0.0
+
+    def test_bounds(self):
+        m = MainMemory(16)
+        with pytest.raises(MemoryError_):
+            m.read(16)
+        with pytest.raises(MemoryError_):
+            m.write(-1, 0.0)
+
+    def test_bad_size(self):
+        with pytest.raises(MemoryError_):
+            MainMemory(0)
+
+    def test_load_dump_array(self):
+        m = MainMemory(32)
+        data = np.arange(10, dtype=float)
+        m.load_array(4, data)
+        assert np.array_equal(m.dump_array(4, 10), data)
+
+    def test_load_array_overflow(self):
+        m = MainMemory(8)
+        with pytest.raises(MemoryError_):
+            m.load_array(4, np.zeros(8))
+
+    def test_dump_negative_count(self):
+        m = MainMemory(8)
+        with pytest.raises(MemoryError_):
+            m.dump_array(0, -1)
+
+    def test_dump_returns_copy(self):
+        m = MainMemory(8)
+        out = m.dump_array(0, 4)
+        out[0] = 99
+        assert m.read(0) == 0.0
+
+    def test_snapshot(self):
+        m = MainMemory(4)
+        m.write(2, 1.5)
+        snap = m.snapshot()
+        assert snap.tolist() == [0, 0, 1.5, 0]

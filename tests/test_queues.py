@@ -1,0 +1,121 @@
+"""OperandQueue protocol and QueueFile resolution."""
+
+import pytest
+
+from repro.config import SMAConfig
+from repro.errors import QueueError
+from repro.isa import EAQ, EBQ, SAQ, QueueSpace
+from repro.isa.operands import Queue, iq, lq, sdq
+from repro.queues import OperandQueue, QueueFile
+
+
+class TestProtocol:
+    def test_push_pop_fifo(self):
+        q = OperandQueue("q", 4)
+        for v in (1, 2, 3):
+            q.push(v)
+        assert [q.pop(), q.pop(), q.pop()] == [1, 2, 3]
+
+    def test_capacity(self):
+        q = OperandQueue("q", 2)
+        q.push(1)
+        q.push(2)
+        assert not q.can_reserve()
+        with pytest.raises(QueueError):
+            q.reserve()
+
+    def test_reserved_slot_blocks_pop_until_filled(self):
+        q = OperandQueue("q", 4)
+        token = q.reserve()
+        assert not q.head_ready()
+        with pytest.raises(QueueError):
+            q.pop()
+        q.fill(token, 42)
+        assert q.head_ready()
+        assert q.pop() == 42
+
+    def test_out_of_order_fill_preserves_fifo(self):
+        q = OperandQueue("q", 4)
+        first = q.reserve()
+        second = q.reserve()
+        q.fill(second, "b")
+        assert not q.head_ready()  # head (first) still unfilled
+        q.fill(first, "a")
+        assert q.pop() == "a"
+        assert q.pop() == "b"
+
+    def test_double_fill_rejected(self):
+        q = OperandQueue("q", 2)
+        token = q.reserve()
+        q.fill(token, 1)
+        with pytest.raises(QueueError):
+            q.fill(token, 2)
+
+    def test_peek_does_not_consume(self):
+        q = OperandQueue("q", 2)
+        q.push(7)
+        assert q.peek() == 7
+        assert q.pop() == 7
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            OperandQueue("q", 0)
+
+
+class TestStats:
+    def test_traffic_counts(self):
+        q = OperandQueue("q", 4)
+        q.push(1)
+        q.push(2)
+        q.pop()
+        assert q.stats.pushes == 2
+        assert q.stats.pops == 1
+
+    def test_occupancy_sampling(self):
+        q = OperandQueue("q", 4)
+        q.sample()          # 0
+        q.push(1)
+        q.push(2)
+        q.sample()          # 2
+        assert q.stats.samples == 2
+        assert q.stats.occupancy_sum == 2
+        assert q.stats.occupancy_max == 2
+        assert q.stats.mean_occupancy == 1.0
+        assert q.stats.histogram == {0: 1, 2: 1}
+
+    def test_stall_notes(self):
+        q = OperandQueue("q", 1)
+        q.note_empty_stall()
+        q.note_full_stall()
+        assert q.stats.empty_stalls == 1
+        assert q.stats.full_stalls == 1
+
+
+class TestQueueFile:
+    def test_resolution_all_spaces(self):
+        qf = QueueFile(SMAConfig())
+        assert qf.resolve(lq(3)).name == "lq3"
+        assert qf.resolve(sdq(1)).name == "sdq1"
+        assert qf.resolve(iq(0)).name == "iq0"
+        assert qf.resolve(SAQ).name == "saq"
+        assert qf.resolve(EAQ).name == "eaq"
+        assert qf.resolve(EBQ).name == "ebq"
+
+    def test_out_of_range_queue(self):
+        qf = QueueFile(SMAConfig())
+        with pytest.raises(QueueError):
+            qf.resolve(Queue(QueueSpace.LQ, 15))
+
+    def test_depths_follow_config(self):
+        cfg = SMAConfig()
+        qf = QueueFile(cfg)
+        assert qf.load[0].capacity == cfg.queues.load_queue_depth
+        assert qf.ep_to_ap_branch.capacity == cfg.queues.ep_to_ap_branch_depth
+
+    def test_all_drained(self):
+        qf = QueueFile(SMAConfig())
+        assert qf.all_drained()
+        qf.load[0].push(1)
+        assert not qf.all_drained()
+        qf.load[0].pop()
+        assert qf.all_drained()

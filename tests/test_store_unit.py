@@ -1,0 +1,69 @@
+"""Store pairing unit in isolation."""
+
+from repro.config import MemoryConfig, SMAConfig
+from repro.core.store_unit import StoreUnit
+from repro.memory import BankedMemory, MainMemory
+from repro.queues import QueueFile
+
+
+def make():
+    cfg = SMAConfig(memory=MemoryConfig(size=128, latency=2, bank_busy=1))
+    queues = QueueFile(cfg)
+    storage = MainMemory(128)
+    memory = BankedMemory(storage, cfg.memory)
+    return StoreUnit(queues, memory), queues, storage, memory
+
+
+class TestPairing:
+    def test_address_then_data(self):
+        unit, queues, storage, memory = make()
+        queues.store_addr.push((40, 0))
+        assert not unit.tick(0)           # data missing
+        assert unit.stats.data_wait_cycles == 1
+        queues.store_data[0].push(5.5)
+        assert unit.tick(1)
+        assert storage.read(40) == 5.5
+
+    def test_data_then_address(self):
+        unit, queues, storage, memory = make()
+        queues.store_data[0].push(1.0)
+        assert not unit.tick(0)           # no address yet: nothing pending
+        queues.store_addr.push((10, 0))
+        assert unit.tick(1)
+        assert storage.read(10) == 1.0
+
+    def test_routes_by_data_queue_index(self):
+        unit, queues, storage, memory = make()
+        queues.store_data[0].push(100.0)
+        queues.store_data[1].push(200.0)
+        queues.store_addr.push((20, 1))
+        queues.store_addr.push((21, 0))
+        unit.tick(0)
+        unit.tick(1)
+        assert storage.read(20) == 200.0
+        assert storage.read(21) == 100.0
+
+    def test_one_store_per_cycle(self):
+        unit, queues, storage, memory = make()
+        for i in range(3):
+            queues.store_addr.push((30 + i, 0))
+            queues.store_data[0].push(float(i))
+        assert unit.tick(0)
+        assert unit.stats.stores_issued == 1
+        assert len(queues.store_addr) == 2
+
+    def test_memory_wait_counted(self):
+        unit, queues, storage, memory = make()
+        # saturate the port this cycle
+        memory.try_issue(0, 0)
+        queues.store_addr.push((1, 0))
+        queues.store_data[0].push(9.0)
+        assert not unit.tick(0)
+        assert unit.stats.memory_wait_cycles == 1
+        assert unit.tick(1)
+
+    def test_pending(self):
+        unit, queues, storage, memory = make()
+        assert not unit.pending()
+        queues.store_addr.push((5, 0))
+        assert unit.pending()

@@ -1,0 +1,68 @@
+"""Timeline recorder: per-cycle reconstruction and rendering."""
+
+from repro.config import SMAConfig
+from repro.core import SMAMachine
+from repro.isa import assemble
+from repro.trace import TimelineRecorder
+
+
+def run_recorded(ap_src, ep_src, **kwargs):
+    m = SMAMachine(assemble(ap_src), assemble(ep_src), SMAConfig())
+    recorder = TimelineRecorder(**kwargs)
+    m.load_array(50, [1.0] * 8)
+    m.run(observer=recorder)
+    return m, recorder
+
+
+AP = "streamld lq0, #50, #1, #8\nstreamst sdq0, #80, #1, #8\nhalt"
+EP = "mov x1, #8\nt: add sdq0, lq0, #1.0\ndecbnz x1, t\nhalt"
+
+
+class TestRecording:
+    def test_records_every_cycle(self):
+        m, rec = run_recorded(AP, EP)
+        assert len(rec.records) == m.cycle
+        assert [r.cycle for r in rec.records] == list(range(m.cycle))
+
+    def test_first_cycle_shows_first_instructions(self):
+        _, rec = run_recorded(AP, EP)
+        assert rec.records[0].ap_event.startswith("streamld")
+        assert rec.records[0].ep_event.startswith("mov")
+
+    def test_ap_halts_early_and_shows_hash(self):
+        _, rec = run_recorded(AP, EP)
+        halted = [r for r in rec.records if r.ap_event == "#"]
+        active_ep = [r for r in halted if r.ep_event != "#"]
+        assert halted and active_ep  # decoupling visible: AP done, EP busy
+
+    def test_stall_causes_named(self):
+        _, rec = run_recorded(AP, EP)
+        assert any(r.ep_event == "~lq_empty" for r in rec.records)
+
+    def test_engine_issue_counts(self):
+        _, rec = run_recorded(AP, EP)
+        assert sum(r.engine_issues for r in rec.records) == 16  # 8 ld + 8 st
+
+    def test_max_cycles_cap(self):
+        _, rec = run_recorded(AP, EP, max_cycles=5)
+        assert len(rec.records) == 5
+
+
+class TestRendering:
+    def test_render_window(self):
+        _, rec = run_recorded(AP, EP)
+        text = rec.render(2, 5)
+        lines = text.splitlines()
+        assert lines[0].startswith("cycle")
+        assert len(lines) == 2 + 4  # header + sep + 4 cycles
+
+    def test_render_empty_range(self):
+        _, rec = run_recorded(AP, EP)
+        assert "no cycles" in rec.render(10_000, 10_001)
+
+    def test_long_instructions_clipped(self):
+        _, rec = run_recorded(AP, EP)
+        text = rec.render(0, 3, column_width=10)
+        for line in text.splitlines()[2:]:
+            cells = line.split("|")
+            assert len(cells[1].strip()) <= 10

@@ -1,0 +1,83 @@
+"""Trace collectors: sampling, striding, bucketing."""
+
+from repro.config import SMAConfig
+from repro.core import SMAMachine
+from repro.isa import assemble
+from repro.trace import (
+    CompositeObserver,
+    ProgressSampler,
+    QueueOccupancySampler,
+    TimeSeries,
+)
+
+
+def run_with(observer):
+    m = SMAMachine(
+        assemble("""
+            streamld lq0, #10, #1, #32
+            streamst sdq0, #60, #1, #32
+            halt
+        """),
+        assemble("""
+            mov x1, #32
+            t: add sdq0, lq0, #1.0
+            decbnz x1, t
+            halt
+        """),
+        SMAConfig(),
+    )
+    m.load_array(10, [1.0] * 32)
+    m.run(observer=observer)
+    return m
+
+
+class TestTimeSeries:
+    def test_bucketing_means(self):
+        ts = TimeSeries("t", 1)
+        for cyc in range(10):
+            ts.append(cyc, float(cyc))
+        pts = ts.bucketed(2)
+        assert len(pts) == 2
+        assert pts[0][1] == 2.0   # mean of 0..4
+        assert pts[1][1] == 7.0   # mean of 5..9
+
+    def test_empty(self):
+        assert TimeSeries("t", 1).bucketed(4) == []
+
+    def test_bucket_count_larger_than_points(self):
+        ts = TimeSeries("t", 1)
+        ts.append(0, 1.0)
+        assert ts.bucketed(100) == [(0, 1.0)]
+
+
+class TestSamplers:
+    def test_queue_occupancy_sampler(self):
+        sampler = QueueOccupancySampler()
+        run_with(sampler)
+        assert len(sampler.load.values) > 10
+        assert max(sampler.load.values) > 0
+        assert min(sampler.load.values) == 0.0
+
+    def test_stride_downsamples(self):
+        dense = QueueOccupancySampler(stride=1)
+        sparse = QueueOccupancySampler(stride=4)
+        run_with(dense)
+        run_with(sparse)
+        assert len(sparse.load.values) < len(dense.load.values)
+        assert len(sparse.load.values) >= len(dense.load.values) // 4 - 1
+
+    def test_progress_sampler_monotone_and_slipped(self):
+        sampler = ProgressSampler()
+        run_with(sampler)
+        ap, ep = sampler.ap.values, sampler.ep.values
+        assert all(a <= b for a, b in zip(ap, ap[1:]))
+        assert all(a <= b for a, b in zip(ep, ep[1:]))
+        # AP finishes its whole program while the EP is still mid-loop
+        assert max(ap) == 3  # streamld, streamst, halt
+        assert max(ep) > 30
+
+    def test_composite(self):
+        a = QueueOccupancySampler()
+        b = ProgressSampler()
+        run_with(CompositeObserver(a, b))
+        assert a.load.values and b.ap.values
