@@ -1,0 +1,115 @@
+"""Simulator throughput: simulated cycles per wall-second.
+
+This benchmark tracks the performance of the *simulator itself* (not the
+simulated machines).  It runs the high-latency end of the R-F1 sweep —
+the latency-dominated regime where the processors spend most cycles
+waiting on memory — two ways:
+
+``seed harness``
+    the pre-optimization path: per-point :func:`compare_spec` (which
+    re-instantiates, re-lowers and re-runs the reference interpreter at
+    every sweep point) with cycle fast-forward disabled, i.e. the naive
+    one-Python-iteration-per-cycle loop.
+
+``job harness``
+    the current path: declarative :class:`~repro.harness.jobs.Job` lists
+    through :func:`~repro.harness.parallel.run_jobs` (memoized
+    lowering/reference, ``--jobs`` fan-out on multi-core hosts) with
+    cycle fast-forward enabled.
+
+Both produce the same per-point speedup numbers and the same simulated
+cycle counts — asserted below — so the wall-clock ratio is a pure
+simulator-engineering win.  Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_sim_throughput.py -s
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.core import machine as machine_mod
+from repro.harness.experiments import LATENCY_REPS, _configs
+from repro.harness.jobs import Job
+from repro.harness.parallel import run_jobs
+from repro.harness.runner import compare_spec
+from repro.kernels import get_kernel
+
+#: the high-latency end of the R-F1 sweep (bank_busy = latency/2)
+LATENCIES = (64, 128, 256, 512)
+N = 256
+KERNELS = LATENCY_REPS
+
+
+def _seed_harness_sweep() -> tuple[list[float], int, float]:
+    """The seed harness path: naive ticking, no memoization, no jobs.
+
+    Returns (per-point speedups, total simulated SMA cycles, wall secs).
+    """
+    speedups = []
+    total_cycles = 0
+    previous = machine_mod.set_fast_forward(False)
+    start = time.perf_counter()
+    try:
+        for latency in LATENCIES:
+            sma_cfg, scalar_cfg = _configs(latency=latency)
+            for name in KERNELS:
+                cmp_run = compare_spec(
+                    get_kernel(name), N,
+                    sma_config=sma_cfg, scalar_config=scalar_cfg,
+                )
+                speedups.append(cmp_run.speedup)
+                total_cycles += cmp_run.sma.cycles
+    finally:
+        elapsed = time.perf_counter() - start
+        machine_mod.set_fast_forward(previous)
+    return speedups, total_cycles, elapsed
+
+
+def _job_harness_sweep() -> tuple[list[float], int, float]:
+    """The current harness path: fast-forward + memoized job layer."""
+    joblist = []
+    for latency in LATENCIES:
+        sma_cfg, scalar_cfg = _configs(latency=latency)
+        for name in KERNELS:
+            joblist.append(Job("sma", name, N, sma_config=sma_cfg,
+                               check=True))
+            joblist.append(Job("scalar", name, N,
+                               scalar_config=scalar_cfg, check=True))
+    # fan out on multi-core hosts; a single-core host runs serially
+    # (a process pool there only adds spawn overhead and cold caches)
+    workers = min(4, os.cpu_count() or 1)
+    start = time.perf_counter()
+    results = run_jobs(joblist, workers=workers)
+    elapsed = time.perf_counter() - start
+    speedups = [
+        scalar["cycles"] / sma["cycles"]
+        for sma, scalar in zip(results[::2], results[1::2])
+    ]
+    total_cycles = sum(r["cycles"] for r in results[::2])
+    return speedups, total_cycles, elapsed
+
+
+@pytest.mark.benchmark(group="throughput")
+def test_sim_throughput(capsys):
+    seed_speedups, seed_cycles, seed_secs = _seed_harness_sweep()
+    job_speedups, job_cycles, job_secs = _job_harness_sweep()
+
+    # identical simulations: same cycle counts, same speedup table
+    assert job_cycles == seed_cycles
+    assert job_speedups == seed_speedups
+
+    ratio = seed_secs / job_secs
+    with capsys.disabled():
+        print()
+        print(f"high-latency R-F1 sweep (latencies {LATENCIES}, n={N}): "
+              f"{seed_cycles} simulated SMA cycles")
+        print(f"  seed harness (naive ticking)       : "
+              f"{seed_cycles / seed_secs:12.0f} cycles/s ({seed_secs:.3f}s)")
+        print(f"  job harness (fast-forward + jobs)  : "
+              f"{job_cycles / job_secs:12.0f} cycles/s ({job_secs:.3f}s)")
+        print(f"  wall-clock improvement             : {ratio:.2f}x")
+    # acceptance floor: the latency-dominated regime is mostly idle
+    # cycles, so fast-forward + memoization should win decisively
+    assert ratio >= 3.0

@@ -132,10 +132,17 @@ class ScalarMachine:
 
     def _wait_for_bank(self, addr: int) -> None:
         assert self.banked is not None
+        banked = self.banked
         waited = 0
-        while not self.banked.can_accept(addr, self.cycle):
-            self.cycle += 1
-            waited += 1
+        while not banked.can_accept(addr, self.cycle):
+            # jump straight to the cycle the bank frees up; a same-cycle
+            # port reject clears after a single cycle.  Equivalent to
+            # ticking one cycle at a time (the processor is blocked, so
+            # no other state advances while it waits).
+            free_at = banked.bank_free_time(addr)
+            target = free_at if free_at > self.cycle else self.cycle + 1
+            waited += target - self.cycle
+            self.cycle = target
         if waited:
             self._stats["conflict_waits"] += waited
             self._stats["memory_stall_cycles"] += waited

@@ -16,7 +16,10 @@ Commands
 ``experiment ID [ID ...]``
     Run reconstructed experiments by identifier (``R-T1`` .. ``R-F8``,
     ``all``); figure experiments can add ``--plot`` for an ASCII chart,
-    and ``--csv`` emits machine-readable output.
+    and ``--csv`` emits machine-readable output.  ``--jobs N`` fans the
+    experiment's simulation jobs over N worker processes; ``--cache DIR``
+    reuses results across invocations (keyed by kernel, config, and code
+    version).
 
 ``timeline KERNEL``
     Per-cycle pipeline view of a kernel on the SMA (the decoupling made
@@ -115,7 +118,14 @@ def cmd_experiment(args) -> int:
             print(f"unknown experiment {experiment_id!r}; "
                   f"known: {sorted(EXPERIMENTS)} or 'all'", file=sys.stderr)
             return 2
-        table = run_experiment(experiment_id)
+        # only pass harness kwargs when requested, so experiment
+        # callables that don't take them keep working
+        kwargs = {}
+        if getattr(args, "jobs", 1) != 1:
+            kwargs["jobs"] = args.jobs
+        if getattr(args, "cache", None):
+            kwargs["cache_dir"] = args.cache
+        table = run_experiment(experiment_id, **kwargs)
         if args.csv:
             print(table.to_csv(), end="")
         else:
@@ -227,6 +237,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="ASCII chart for figure experiments")
     p_exp.add_argument("--csv", action="store_true",
                        help="emit CSV instead of the aligned table")
+    p_exp.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="fan simulation jobs over N worker processes "
+                            "(default 1: serial, deterministic)")
+    p_exp.add_argument("--cache", default=None, metavar="DIR",
+                       help="cache job results as JSON under DIR, keyed "
+                            "by (kernel, config, code version)")
 
     p_timeline = sub.add_parser(
         "timeline", help="per-cycle pipeline view of a kernel on the SMA"

@@ -53,6 +53,20 @@ class ExecuteProcessor:
         #: consumed by the timeline viewer in repro.trace.timeline
         self._stalled_on: str | None = None
         self._validate(program)
+        # predecode: resolve queue operands to their backing queues once
+        # (resolution is pure, and step() runs every simulated cycle)
+        self._src_queues = [
+            tuple(
+                queues.resolve(s) if isinstance(s, Queue) else None
+                for s in instr.srcs
+            )
+            for instr in program
+        ]
+        self._dest_queues = [
+            queues.resolve(instr.dest)
+            if isinstance(instr.dest, Queue) else None
+            for instr in program
+        ]
 
     def _validate(self, program: Program) -> None:
         for instr in program:
@@ -115,21 +129,25 @@ class ExecuteProcessor:
             return
         assert op in ALU_OPS, f"unhandled EP op {op}"
         # check queue readiness before popping anything (atomic issue)
-        for src in instr.srcs:
-            if isinstance(src, Queue):
-                backing = self.queues.resolve(src)
-                if not backing.head_ready():
-                    backing.note_empty_stall()
-                    self._stall("lq_empty")
-                    return
-        dest_queue = None
-        if isinstance(instr.dest, Queue):
-            dest_queue = self.queues.resolve(instr.dest)
-            if not dest_queue.can_reserve():
-                dest_queue.note_full_stall()
-                self._stall("q_full")
+        src_queues = self._src_queues[self.pc]
+        for backing in src_queues:
+            if backing is not None and not backing.head_ready():
+                backing.note_empty_stall()
+                self._stall("lq_empty")
                 return
-        args = [self._read(s) for s in instr.srcs]
+        dest_queue = self._dest_queues[self.pc]
+        if dest_queue is not None and not dest_queue.can_reserve():
+            dest_queue.note_full_stall()
+            self._stall("q_full")
+            return
+        registers = self.registers
+        args = [
+            backing.pop() if backing is not None
+            else (
+                registers[src.index] if isinstance(src, Reg) else src.value
+            )
+            for src, backing in zip(instr.srcs, src_queues)
+        ]
         result = ALU_FUNCS[op](*args)
         if dest_queue is not None:
             dest_queue.push(result)

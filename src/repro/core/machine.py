@@ -16,6 +16,20 @@ aborts with a diagnostic if no forward progress happens for
 ``deadlock_window`` cycles — with an in-order machine and FIFO queues this
 always indicates a miscompiled program (e.g. EP pops a queue the AP never
 feeds), and the stall-cause breakdown in the exception message says which.
+
+**Cycle fast-forward.**  In the latency-dominated regime (long memory
+latency, shallow queues, loss-of-decoupling recurrences) most simulated
+cycles are *fully idle*: every unit is stalled waiting on a pending memory
+completion, and stepping the machine changes nothing but time-weighted
+statistics.  ``run`` detects this — two consecutive cycles in which no
+instruction retired, no request issued, no store committed and no
+completion fired — and jumps the clock directly to the next memory event
+(earliest pending completion, or earliest busy bank becoming free),
+replaying the idle cycle's statistic increments in closed form so every
+counter stays bit-identical to naive ticking.  The fast path disables
+itself when an ``observer`` is attached, so trace collectors still see
+every cycle; ``fast_forward=False`` forces naive ticking (used by the
+differential property tests and the throughput benchmark).
 """
 
 from __future__ import annotations
@@ -32,6 +46,20 @@ from .access_processor import AccessProcessor, APStats
 from .descriptors import StreamEngine, StreamEngineStats
 from .execute_processor import EPStats, ExecuteProcessor
 from .store_unit import StoreUnit, StoreUnitStats
+
+#: process-wide default for the cycle fast-forward path.  ``SMAMachine.run``
+#: consults this when its ``fast_forward`` argument is ``None``; the
+#: throughput benchmark flips it to time naive ticking through unmodified
+#: harness code paths.
+FAST_FORWARD = True
+
+
+def set_fast_forward(enabled: bool) -> bool:
+    """Set the process-wide fast-forward default; returns the old value."""
+    global FAST_FORWARD
+    previous = FAST_FORWARD
+    FAST_FORWARD = bool(enabled)
+    return previous
 
 
 @dataclass
@@ -147,6 +175,10 @@ class SMAMachine:
         self.cycle = 0
         self._occupancy_sum = 0
         self._occupancy_max = 0
+        # flat queue view, built once: used by the per-cycle sampling and
+        # by the fast-forward statistics replay
+        self._queue_list = self.queues.all_queues()
+        self._load_slots = [q._slots for q in self.queues.load]
 
     # -- convenience for loading workloads ------------------------------
 
@@ -188,7 +220,7 @@ class SMAMachine:
         self.ap.step(now)
         self.ep.step(now)
         self.queues.sample()
-        outstanding = sum(len(q) for q in self.queues.load)
+        outstanding = sum(map(len, self._load_slots))
         self._occupancy_sum += outstanding
         if outstanding > self._occupancy_max:
             self._occupancy_max = outstanding
@@ -240,29 +272,146 @@ class SMAMachine:
         max_cycles: int = 10_000_000,
         deadlock_window: int = 10_000,
         observer=None,
+        fast_forward: bool | None = None,
     ) -> SMAResult:
         """Run to completion; returns the collected statistics.
 
         ``observer``, if given, is called as ``observer(machine, cycle)``
         once per simulated cycle after all components have stepped — the
         hook the trace collectors in :mod:`repro.trace` attach through.
+        Attaching an observer disables cycle fast-forward automatically,
+        so collectors always see every cycle.
+
+        ``fast_forward`` overrides the module default
+        (:data:`FAST_FORWARD`); cycle counts and every statistic are
+        bit-identical either way (see the module docstring and
+        ``tests/test_fast_forward.py``).
         """
+        if fast_forward is None:
+            fast_forward = FAST_FORWARD
+        if observer is not None:
+            return self._run_traced(max_cycles, deadlock_window, observer)
+        return self._run(max_cycles, deadlock_window, fast_forward)
+
+    def _run(
+        self, max_cycles: int, deadlock_window: int, fast_forward: bool
+    ) -> SMAResult:
+        """The unobserved simulation loop (optionally fast-forwarding).
+
+        The progress probe is kept as five plain integers — retired AP/EP
+        instructions, stream requests, committed stores, memory traffic —
+        compared in place, so the hot loop allocates nothing when the
+        machine is advancing normally.
+        """
+        step = self.step_cycle
+        done = self.done
+        banked = self.banked
+        ap_stats = self.ap.stats
+        ep_stats = self.ep.stats
+        engine_stats = self.engine.stats
+        su_stats = self.store_unit.stats
+        mstats = banked.stats
         last_progress_cycle = 0
-        last_progress_state: tuple[int, ...] = ()
+        p_ap = p_ep = p_req = p_st = p_mem = p_pend = -1
+        prev_idle = False  # previous cycle was fully idle (steady stall)
+        while not done():
+            if self.cycle >= max_cycles:
+                raise SimulationError(
+                    f"exceeded cycle budget {max_cycles}"
+                )
+            if prev_idle and fast_forward:
+                # the machine is in a steady stall: simulate one more
+                # cycle as the replay template, then jump to the next
+                # memory event
+                snapshot = self._stall_snapshot()
+                pending_before = banked.pending_completions
+                step()
+                if (
+                    ap_stats.instructions == p_ap
+                    and ep_stats.instructions == p_ep
+                    and engine_stats.requests_issued == p_req
+                    and su_stats.stores_issued == p_st
+                    and mstats.reads + mstats.writes == p_mem
+                    and banked.pending_completions == pending_before
+                ):
+                    # nothing moved and nothing completed: every cycle
+                    # until the next memory event repeats this one exactly
+                    horizon = min(
+                        last_progress_cycle + deadlock_window + 1,
+                        max_cycles,
+                    )
+                    target = banked.next_event_time(self.cycle - 1)
+                    if target is None or target > horizon:
+                        target = horizon
+                    skipped = target - self.cycle
+                    if skipped > 0:
+                        self._replay_stall_cycles(snapshot, skipped)
+                    if self.cycle - last_progress_cycle > deadlock_window:
+                        raise SimulationError(
+                            "deadlock: no forward progress for "
+                            f"{deadlock_window} cycles at cycle "
+                            f"{self.cycle}; " + self.deadlock_report()
+                        )
+                    continue
+                # the candidate cycle made progress (or delivered data) —
+                # fall through to the ordinary bookkeeping below
+            else:
+                step()
+            mem = mstats.reads + mstats.writes
+            ap_i = ap_stats.instructions
+            ep_i = ep_stats.instructions
+            req = engine_stats.requests_issued
+            st = su_stats.stores_issued
+            if (
+                ap_i != p_ap or ep_i != p_ep or req != p_req
+                or st != p_st or mem != p_mem
+            ):
+                p_ap = ap_i
+                p_ep = ep_i
+                p_req = req
+                p_st = st
+                p_mem = mem
+                p_pend = banked.pending_completions
+                last_progress_cycle = self.cycle
+                prev_idle = False
+            else:
+                if self.cycle - last_progress_cycle > deadlock_window:
+                    raise SimulationError(
+                        "deadlock: no forward progress for "
+                        f"{deadlock_window} cycles at cycle {self.cycle}; "
+                        + self.deadlock_report()
+                    )
+                # a cycle that only delivered a completion is not idle:
+                # the filled slot can unblock a consumer next cycle
+                pending = banked.pending_completions
+                prev_idle = pending == p_pend
+                p_pend = pending
+        return self.collect_result()
+
+    def _run_traced(
+        self, max_cycles: int, deadlock_window: int, observer
+    ) -> SMAResult:
+        """Naive per-cycle loop with the observer hook (trace collectors
+        must see every cycle, so fast-forward is never applied here)."""
+        last_progress_cycle = 0
+        p_ap = p_ep = p_req = p_st = p_mem = -1
         while not self.done():
             if self.cycle >= max_cycles:
                 raise SimulationError(
                     f"exceeded cycle budget {max_cycles}"
                 )
             self.step_cycle()
-            if observer is not None:
-                observer(self, self.cycle - 1)
-            memory_traffic = (
-                self.banked.stats.reads + self.banked.stats.writes,
-            )
-            state = self.progress_state() + memory_traffic
-            if state != last_progress_state:
-                last_progress_state = state
+            observer(self, self.cycle - 1)
+            mem = self.banked.stats.reads + self.banked.stats.writes
+            ap_i = self.ap.stats.instructions
+            ep_i = self.ep.stats.instructions
+            req = self.engine.stats.requests_issued
+            st = self.store_unit.stats.stores_issued
+            if (
+                ap_i != p_ap or ep_i != p_ep or req != p_req
+                or st != p_st or mem != p_mem
+            ):
+                p_ap, p_ep, p_req, p_st, p_mem = ap_i, ep_i, req, st, mem
                 last_progress_cycle = self.cycle
             elif self.cycle - last_progress_cycle > deadlock_window:
                 raise SimulationError(
@@ -271,3 +420,74 @@ class SMAMachine:
                     + self.deadlock_report()
                 )
         return self.collect_result()
+
+    # -- fast-forward statistics replay ---------------------------------
+
+    def _stall_snapshot(self):
+        """Snapshot of every counter a fully-idle cycle can increment,
+        taken immediately before simulating the replay-template cycle."""
+        ap = self.ap.stats
+        ep = self.ep.stats
+        su = self.store_unit.stats
+        return (
+            dict(ap.stall_cycles),
+            ap.lod_events,
+            dict(ep.stall_cycles),
+            self.engine.stats.blocked_cycles,
+            su.data_wait_cycles,
+            su.memory_wait_cycles,
+            [
+                (q.stats.empty_stalls, q.stats.full_stalls)
+                for q in self._queue_list
+            ],
+        )
+
+    def _replay_stall_cycles(self, snapshot, count: int) -> None:
+        """Advance the clock by ``count`` cycles, applying the statistic
+        increments of the just-simulated idle cycle (the delta against
+        ``snapshot``) in closed form.
+
+        Sound because a fully-idle cycle leaves every piece of machine
+        state untouched except monotone counters: queue contents, PCs,
+        stall causes and the stream engine's round-robin pointer are all
+        unchanged, so each skipped cycle would have incremented exactly
+        the same counters by exactly the same amounts.
+        """
+        ap_before, lod_before, ep_before, blocked_before, \
+            dwait_before, mwait_before, queues_before = snapshot
+        ap = self.ap.stats
+        for cause, value in ap.stall_cycles.items():
+            delta = value - ap_before.get(cause, 0)
+            if delta:
+                ap.stall_cycles[cause] = value + delta * count
+        ap.lod_events += (ap.lod_events - lod_before) * count
+        ep = self.ep.stats
+        for cause, value in ep.stall_cycles.items():
+            delta = value - ep_before.get(cause, 0)
+            if delta:
+                ep.stall_cycles[cause] = value + delta * count
+        engine_stats = self.engine.stats
+        engine_stats.blocked_cycles += (
+            engine_stats.blocked_cycles - blocked_before
+        ) * count
+        su = self.store_unit.stats
+        su.data_wait_cycles += (su.data_wait_cycles - dwait_before) * count
+        su.memory_wait_cycles += (su.memory_wait_cycles - mwait_before) * count
+        for queue, (empty_before, full_before) in zip(
+            self._queue_list, queues_before
+        ):
+            stats = queue.stats
+            delta = stats.empty_stalls - empty_before
+            if delta:
+                stats.empty_stalls += delta * count
+            delta = stats.full_stalls - full_before
+            if delta:
+                stats.full_stalls += delta * count
+            occupancy = len(queue)
+            stats.samples += count
+            stats.occupancy_sum += occupancy * count
+            # the template cycle sampled this occupancy, so the bucket
+            # already exists (and occupancy_max already covers it)
+            stats.histogram[occupancy] += count
+        self._occupancy_sum += sum(map(len, self._load_slots)) * count
+        self.cycle += count

@@ -1,6 +1,8 @@
 """Experiment harness: runners, sweeps, tables for every figure/table."""
 
 from .experiments import EXPERIMENTS, run_experiment
+from .jobs import Job, run_job
+from .parallel import code_fingerprint, run_jobs
 from .runner import (
     ComparisonRun,
     KernelRun,
@@ -14,10 +16,14 @@ from .tables import Table
 __all__ = [
     "EXPERIMENTS",
     "ComparisonRun",
+    "Job",
     "KernelRun",
     "Table",
+    "code_fingerprint",
     "compare_spec",
     "run_experiment",
+    "run_job",
+    "run_jobs",
     "run_on_scalar",
     "run_on_sma",
     "run_spec_reference",

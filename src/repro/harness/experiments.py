@@ -5,6 +5,15 @@ measured-vs-expected) returns a :class:`repro.harness.tables.Table`; the
 ``benchmarks/`` tree has one pytest-benchmark module per experiment that
 runs it and prints the table.
 
+Every experiment is split into two pure halves: it first *declares* its
+sweep as a list of :class:`repro.harness.jobs.Job` descriptions, hands
+the list to :func:`repro.harness.parallel.run_jobs` (which can fan jobs
+over worker processes and/or an on-disk result cache — the ``jobs=`` and
+``cache_dir=`` keywords every experiment accepts), then *assembles* the
+table from the returned measurement dicts.  With the defaults
+(``jobs=1``, no cache) everything runs serially in-process, so results
+are deterministic for CI.
+
 Identifiers:
 
 ========  ===========================================================
@@ -40,9 +49,9 @@ from ..config import (
     ScalarConfig,
     SMAConfig,
 )
-from ..kernels import all_kernels, get_kernel, lower_sma
-from ..trace import QueueOccupancySampler
-from .runner import compare_spec, run_on_scalar, run_on_sma
+from ..kernels import all_kernels
+from .jobs import Job
+from .parallel import run_jobs
 from .tables import Table
 
 #: kernels used where a sweep would be too expensive over the full suite
@@ -81,7 +90,9 @@ def _configs(
 # ---------------------------------------------------------------------------
 
 
-def table1_mix(n: int = 256) -> Table:
+def table1_mix(
+    n: int = 256, jobs: int = 1, cache_dir: str | None = None
+) -> Table:
     """Instruction mix per kernel: how the SMA split redistributes work.
 
     For the scalar machine we report dynamic instructions and memory
@@ -95,23 +106,27 @@ def table1_mix(n: int = 256) -> Table:
          "ap_instr", "ep_instr", "streams", "gathers", "carried", "lod_refs"),
     )
     sma_cfg, scalar_cfg = _configs()
-    for spec in all_kernels():
-        kernel, inputs = spec.instantiate(n)
-        scalar = run_on_scalar(kernel, inputs, scalar_cfg)
-        sma = run_on_sma(kernel, inputs, sma_cfg)
-        info = lower_sma(kernel).info
+    specs = all_kernels()
+    joblist = []
+    for spec in specs:
+        joblist.append(
+            Job("scalar", spec.name, n, scalar_config=scalar_cfg)
+        )
+        joblist.append(Job("sma", spec.name, n, sma_config=sma_cfg))
+    results = run_jobs(joblist, workers=jobs, cache_dir=cache_dir)
+    for spec, scalar, sma in zip(specs, results[::2], results[1::2]):
         t.add_row(
             spec.name,
             spec.category,
-            scalar.result.instructions,
-            scalar.result.loads,
-            scalar.result.stores,
-            sma.result.ap.instructions,
-            sma.result.ep.instructions,
-            info.load_streams + info.store_streams,
-            info.gather_streams + info.scatter_streams,
-            info.carried_refs,
-            info.computed_refs,
+            scalar["instructions"],
+            scalar["loads"],
+            scalar["stores"],
+            sma["ap_instructions"],
+            sma["ep_instructions"],
+            sma["load_streams"] + sma["store_streams"],
+            sma["gather_streams"] + sma["scatter_streams"],
+            sma["carried_refs"],
+            sma["computed_refs"],
         )
     t.note("streams/gathers/carried/lod_refs are static per innermost loop")
     return t
@@ -122,7 +137,10 @@ def table1_mix(n: int = 256) -> Table:
 # ---------------------------------------------------------------------------
 
 
-def table2_speedup(n: int = 256, latency: int = 8) -> Table:
+def table2_speedup(
+    n: int = 256, latency: int = 8,
+    jobs: int = 1, cache_dir: str | None = None,
+) -> Table:
     """SMA vs scalar baseline over the whole suite (the headline result)."""
     t = Table(
         "R-T2",
@@ -131,18 +149,25 @@ def table2_speedup(n: int = 256, latency: int = 8) -> Table:
          "mean_slip", "lod_events"),
     )
     sma_cfg, scalar_cfg = _configs(latency=latency)
-    for spec in all_kernels():
-        cmp_run = compare_spec(
-            spec, n, sma_config=sma_cfg, scalar_config=scalar_cfg
+    specs = all_kernels()
+    joblist = []
+    for spec in specs:
+        joblist.append(
+            Job("scalar", spec.name, n, scalar_config=scalar_cfg, check=True)
         )
+        joblist.append(
+            Job("sma", spec.name, n, sma_config=sma_cfg, check=True)
+        )
+    results = run_jobs(joblist, workers=jobs, cache_dir=cache_dir)
+    for spec, scalar, sma in zip(specs, results[::2], results[1::2]):
         t.add_row(
             spec.name,
             spec.category,
-            cmp_run.scalar.cycles,
-            cmp_run.sma.cycles,
-            cmp_run.speedup,
-            cmp_run.sma.result.mean_outstanding_loads,
-            cmp_run.sma.result.lod_events,
+            scalar["cycles"],
+            sma["cycles"],
+            scalar["cycles"] / sma["cycles"],
+            sma["mean_outstanding_loads"],
+            sma["lod_events"],
         )
     t.note("every run is verified word-exact against the IR reference")
     return t
@@ -157,6 +182,7 @@ def table3_cache(
     n: int = 256,
     cache_sizes: Sequence[int] = (128, 256, 512, 1024, 4096),
     kernels: Sequence[str] = CACHE_REPS,
+    jobs: int = 1, cache_dir: str | None = None,
 ) -> Table:
     """Does a conventional data cache close the gap?
 
@@ -172,22 +198,26 @@ def table3_cache(
          *[f"hit%_{s}w" for s in cache_sizes]),
     )
     sma_cfg, scalar_cfg = _configs()
+    stride = 2 + len(cache_sizes)  # jobs per kernel
+    joblist = []
     for name in kernels:
-        spec = get_kernel(name)
-        kernel, inputs = spec.instantiate(n)
-        sma = run_on_sma(kernel, inputs, sma_cfg)
-        scalar = run_on_scalar(kernel, inputs, scalar_cfg)
-        cycles, hits = [], []
+        joblist.append(Job("sma", name, n, sma_config=sma_cfg))
+        joblist.append(Job("scalar", name, n, scalar_config=scalar_cfg))
         for size in cache_sizes:
             cached_cfg = ScalarConfig(
                 memory=scalar_cfg.memory,
                 cache=CacheConfig(size_words=size, line_words=4,
                                   associativity=2),
             )
-            run = run_on_scalar(kernel, inputs, cached_cfg)
-            cycles.append(run.cycles)
-            hits.append(100.0 * run.result.cache.hit_rate)
-        t.add_row(name, sma.cycles, scalar.cycles, *cycles, *hits)
+            joblist.append(Job("scalar", name, n, scalar_config=cached_cfg))
+    results = run_jobs(joblist, workers=jobs, cache_dir=cache_dir)
+    for i, name in enumerate(kernels):
+        sma, scalar, *cached = results[i * stride:(i + 1) * stride]
+        t.add_row(
+            name, sma["cycles"], scalar["cycles"],
+            *[c["cycles"] for c in cached],
+            *[100.0 * c["cache_hit_rate"] for c in cached],
+        )
     t.note("cache: 4-word lines, 2-way, LRU, write-back/write-allocate")
     return t
 
@@ -197,7 +227,10 @@ def table3_cache(
 # ---------------------------------------------------------------------------
 
 
-def table4_lod(n: int = 256, kernels: Sequence[str] = LOD_REPS) -> Table:
+def table4_lod(
+    n: int = 256, kernels: Sequence[str] = LOD_REPS,
+    jobs: int = 1, cache_dir: str | None = None,
+) -> Table:
     """Where decoupling collapses: EP-fed addresses and branches force the
     AP to the EP's speed; structured gathers (index from *memory*) do not."""
     t = Table(
@@ -207,19 +240,21 @@ def table4_lod(n: int = 256, kernels: Sequence[str] = LOD_REPS) -> Table:
          "speedup_vs_scalar"),
     )
     sma_cfg, scalar_cfg = _configs()
+    joblist = []
     for name in kernels:
-        spec = get_kernel(name)
-        cmp_run = compare_spec(
-            spec, n, sma_config=sma_cfg, scalar_config=scalar_cfg
+        joblist.append(Job("sma", name, n, sma_config=sma_cfg, check=True))
+        joblist.append(
+            Job("scalar", name, n, scalar_config=scalar_cfg, check=True)
         )
-        res = cmp_run.sma.result
+    results = run_jobs(joblist, workers=jobs, cache_dir=cache_dir)
+    for name, sma, scalar in zip(kernels, results[::2], results[1::2]):
         t.add_row(
             name,
-            res.cycles,
-            res.lod_events,
-            res.lod_stall_cycles,
-            res.lod_stall_cycles / res.cycles,
-            cmp_run.speedup,
+            sma["cycles"],
+            sma["lod_events"],
+            sma["lod_stall_cycles"],
+            sma["lod_stall_cycles"] / sma["cycles"],
+            scalar["cycles"] / sma["cycles"],
         )
     t.note("lod = AP waiting on EAQ/EBQ (EP-computed address or branch)")
     return t
@@ -234,7 +269,8 @@ PREFETCH_REPS = ("daxpy", "saxpy_strided", "stride8_copy", "hydro",
 
 
 def table5_prefetch(
-    n: int = 256, kernels: Sequence[str] = PREFETCH_REPS
+    n: int = 256, kernels: Sequence[str] = PREFETCH_REPS,
+    jobs: int = 1, cache_dir: str | None = None,
 ) -> Table:
     """Extension: how close does *speculative* hardware prefetching get to
     the SMA's *exact* (descriptor-driven) prefetching?
@@ -257,29 +293,27 @@ def table5_prefetch(
     )
     sma_cfg, scalar_cfg = _configs()
     cache = CacheConfig()
+    variants = (
+        scalar_cfg,
+        ScalarConfig(memory=scalar_cfg.memory, cache=cache),
+        ScalarConfig(memory=scalar_cfg.memory, cache=cache,
+                     prefetch=PrefetchConfig("obl")),
+        ScalarConfig(memory=scalar_cfg.memory, cache=cache,
+                     prefetch=PrefetchConfig("stride", table_size=16,
+                                             degree=2)),
+    )
+    stride = len(variants) + 1  # jobs per kernel
+    joblist = []
     for name in kernels:
-        spec = get_kernel(name)
-        kernel, inputs = spec.instantiate(n)
-        uncached = run_on_scalar(kernel, inputs, scalar_cfg)
-        plain = run_on_scalar(
-            kernel, inputs,
-            ScalarConfig(memory=scalar_cfg.memory, cache=cache),
-        )
-        obl = run_on_scalar(
-            kernel, inputs,
-            ScalarConfig(memory=scalar_cfg.memory, cache=cache,
-                         prefetch=PrefetchConfig("obl")),
-        )
-        rpt = run_on_scalar(
-            kernel, inputs,
-            ScalarConfig(memory=scalar_cfg.memory, cache=cache,
-                         prefetch=PrefetchConfig("stride", table_size=16,
-                                                 degree=2)),
-        )
-        sma = run_on_sma(kernel, inputs, sma_cfg)
+        for cfg in variants:
+            joblist.append(Job("scalar", name, n, scalar_config=cfg))
+        joblist.append(Job("sma", name, n, sma_config=sma_cfg))
+    results = run_jobs(joblist, workers=jobs, cache_dir=cache_dir)
+    for i, name in enumerate(kernels):
+        uncached, plain, obl, rpt, sma = results[i * stride:(i + 1) * stride]
         t.add_row(
-            name, uncached.cycles, plain.cycles, obl.cycles, rpt.cycles,
-            sma.cycles, rpt.result.cache.coverage,
+            name, uncached["cycles"], plain["cycles"], obl["cycles"],
+            rpt["cycles"], sma["cycles"], rpt["cache_coverage"],
         )
     t.note("rpt: PC-indexed reference prediction table, degree 2")
     t.note("cache timing has no bank model: bandwidth-bound kernels "
@@ -297,7 +331,8 @@ VECTOR_REPS = ("hydro", "daxpy", "inner_product", "stencil2d",  # vectorize
 
 
 def table6_vector(
-    n: int = 256, kernels: Sequence[str] = VECTOR_REPS
+    n: int = 256, kernels: Sequence[str] = VECTOR_REPS,
+    jobs: int = 1, cache_dir: str | None = None,
 ) -> Table:
     """Extension: the era's second comparator — a CRAY-flavoured vector
     machine with perfect chaining (charitable: free scalar bookkeeping).
@@ -309,9 +344,6 @@ def table6_vector(
     back to the scalar unit and the SMA beats it by the full decoupled
     margin.  The SMA is the machine with no cliff.
     """
-    from ..kernels.lower_vector import VectorizationError
-    from .runner import run_on_vector
-
     t = Table(
         "R-T6",
         f"SMA vs vector machine (n={n})",
@@ -319,22 +351,27 @@ def table6_vector(
          "scalar_cycles", "sma_vs_vector"),
     )
     sma_cfg, scalar_cfg = _configs()
+    joblist = []
     for name in kernels:
-        spec = get_kernel(name)
-        kernel, inputs = spec.instantiate(n)
-        sma = run_on_sma(kernel, inputs, sma_cfg)
-        scalar = run_on_scalar(kernel, inputs, scalar_cfg)
-        try:
-            vector = run_on_vector(kernel, inputs, scalar_cfg.memory)
+        joblist.append(Job("sma", name, n, sma_config=sma_cfg))
+        joblist.append(Job("scalar", name, n, scalar_config=scalar_cfg))
+        joblist.append(
+            Job("vector", name, n, memory_config=scalar_cfg.memory)
+        )
+    results = run_jobs(joblist, workers=jobs, cache_dir=cache_dir)
+    for name, sma, scalar, vector in zip(
+        kernels, results[::3], results[1::3], results[2::3]
+    ):
+        if vector["vectorized"]:
             vectorized = "yes"
-            vcycles = vector.cycles
-        except VectorizationError as exc:
+            vcycles = vector["cycles"]
+        else:
             # conventional fallback: the loop runs on the scalar unit
-            vectorized = str(exc).split(": ", 1)[-1][:34]
-            vcycles = scalar.cycles
+            vectorized = vector["reason"].split(": ", 1)[-1][:34]
+            vcycles = scalar["cycles"]
         t.add_row(
-            name, vectorized, vcycles, sma.cycles, scalar.cycles,
-            vcycles / sma.cycles,
+            name, vectorized, vcycles, sma["cycles"], scalar["cycles"],
+            vcycles / sma["cycles"],
         )
     t.note("non-vectorizable loops fall back to the scalar unit "
            "(vector_cycles = scalar_cycles)")
@@ -351,6 +388,7 @@ def fig1_latency(
     n: int = 256,
     latencies: Sequence[int] = (1, 2, 4, 8, 16, 32),
     kernels: Sequence[str] = LATENCY_REPS,
+    jobs: int = 1, cache_dir: str | None = None,
 ) -> Table:
     """Speedup vs memory latency: the decoupled machine's latency
     tolerance is the paper's central claim — speedup *grows* with latency
@@ -360,15 +398,23 @@ def fig1_latency(
         f"Speedup vs memory latency (n={n})",
         ("latency", *kernels),
     )
+    joblist = []
     for latency in latencies:
         sma_cfg, scalar_cfg = _configs(latency=latency)
-        row = [latency]
         for name in kernels:
-            cmp_run = compare_spec(
-                get_kernel(name), n,
-                sma_config=sma_cfg, scalar_config=scalar_cfg,
+            joblist.append(
+                Job("sma", name, n, sma_config=sma_cfg, check=True)
             )
-            row.append(cmp_run.speedup)
+            joblist.append(
+                Job("scalar", name, n, scalar_config=scalar_cfg, check=True)
+            )
+    results = run_jobs(joblist, workers=jobs, cache_dir=cache_dir)
+    stride = 2 * len(kernels)  # jobs per latency point
+    for i, latency in enumerate(latencies):
+        point = results[i * stride:(i + 1) * stride]
+        row: list = [latency]
+        for sma, scalar in zip(point[::2], point[1::2]):
+            row.append(scalar["cycles"] / sma["cycles"])
         t.add_row(*row)
     t.note("bank_busy tracks latency/2; 8 banks")
     return t
@@ -384,6 +430,7 @@ def fig2_queue_depth(
     depths: Sequence[int] = (1, 2, 4, 8, 16, 32, 64),
     kernels: Sequence[str] = STREAMING_REPS,
     latency: int = 8,
+    jobs: int = 1, cache_dir: str | None = None,
 ) -> Table:
     """SMA cycles vs architectural queue depth: a handful of entries
     (≈ memory latency) buys nearly all of the decoupling."""
@@ -392,13 +439,16 @@ def fig2_queue_depth(
         f"SMA cycles vs queue depth (n={n}, latency={latency})",
         ("depth", *kernels),
     )
+    joblist = []
     for depth in depths:
         sma_cfg, _ = _configs(latency=latency, queue_depth=depth)
-        row = [depth]
         for name in kernels:
-            kernel, inputs = get_kernel(name).instantiate(n)
-            row.append(run_on_sma(kernel, inputs, sma_cfg).cycles)
-        t.add_row(*row)
+            joblist.append(Job("sma", name, n, sma_config=sma_cfg))
+    results = run_jobs(joblist, workers=jobs, cache_dir=cache_dir)
+    width = len(kernels)
+    for i, depth in enumerate(depths):
+        point = results[i * width:(i + 1) * width]
+        t.add_row(depth, *[r["cycles"] for r in point])
     return t
 
 
@@ -407,7 +457,9 @@ def fig2_queue_depth(
 # ---------------------------------------------------------------------------
 
 
-def fig3_slip(n: int = 256) -> Table:
+def fig3_slip(
+    n: int = 256, jobs: int = 1, cache_dir: str | None = None
+) -> Table:
     """Achieved run-ahead (mean outstanding loads) per kernel — how far
     the access processor actually gets ahead of execution."""
     t = Table(
@@ -417,17 +469,17 @@ def fig3_slip(n: int = 256) -> Table:
          "ep_empty_stall_frac"),
     )
     sma_cfg, _ = _configs()
-    for spec in all_kernels():
-        kernel, inputs = spec.instantiate(n)
-        run = run_on_sma(kernel, inputs, sma_cfg)
-        res = run.result
-        empty = res.ep.stall_cycles.get("lq_empty", 0)
+    specs = all_kernels()
+    joblist = [Job("sma", spec.name, n, sma_config=sma_cfg) for spec in specs]
+    results = run_jobs(joblist, workers=jobs, cache_dir=cache_dir)
+    for spec, res in zip(specs, results):
+        empty = res["ep_stalls"].get("lq_empty", 0)
         t.add_row(
             spec.name,
             spec.category,
-            res.mean_outstanding_loads,
-            res.max_outstanding_loads,
-            empty / res.cycles,
+            res["mean_outstanding_loads"],
+            res["max_outstanding_loads"],
+            empty / res["cycles"],
         )
     return t
 
@@ -442,6 +494,7 @@ def fig4_banks(
     banks: Sequence[int] = (1, 2, 4, 8, 16),
     kernels: Sequence[str] = BANK_REPS,
     latency: int = 8,
+    jobs: int = 1, cache_dir: str | None = None,
 ) -> Table:
     """Words per cycle vs interleaving degree, for strides 1/2/5/8: the
     stride-vs-banks aliasing structure is the classic interleave result."""
@@ -450,15 +503,22 @@ def fig4_banks(
         f"Memory words/cycle vs banks (n={n}, latency={latency})",
         ("banks", *kernels),
     )
+    joblist = []
     for nb in banks:
         sma_cfg, _ = _configs(latency=latency, banks=nb)
-        row = [nb]
         for name in kernels:
-            kernel, inputs = get_kernel(name).instantiate(n)
-            run = run_on_sma(kernel, inputs, sma_cfg)
-            res = run.result
-            row.append((res.memory_reads + res.memory_writes) / res.cycles)
-        t.add_row(*row)
+            joblist.append(Job("sma", name, n, sma_config=sma_cfg))
+    results = run_jobs(joblist, workers=jobs, cache_dir=cache_dir)
+    width = len(kernels)
+    for i, nb in enumerate(banks):
+        point = results[i * width:(i + 1) * width]
+        t.add_row(
+            nb,
+            *[
+                (r["memory_reads"] + r["memory_writes"]) / r["cycles"]
+                for r in point
+            ],
+        )
     t.note("daxpy stride 1, saxpy_strided 2, strided_dot 5, stride8_copy 8")
     return t
 
@@ -469,7 +529,8 @@ def fig4_banks(
 
 
 def fig5_ablation(
-    n: int = 256, kernels: Sequence[str] = ABLATION_REPS
+    n: int = 256, kernels: Sequence[str] = ABLATION_REPS,
+    jobs: int = 1, cache_dir: str | None = None,
 ) -> Table:
     """Structured descriptors ON vs OFF (per-element DAE): the access
     processor's instruction bandwidth becomes the bottleneck without
@@ -481,17 +542,19 @@ def fig5_ablation(
          "ap_instr_stream", "ap_instr_elem"),
     )
     sma_cfg, _ = _configs()
+    joblist = []
     for name in kernels:
-        kernel, inputs = get_kernel(name).instantiate(n)
-        stream = run_on_sma(kernel, inputs, sma_cfg, use_streams=True)
-        elem = run_on_sma(kernel, inputs, sma_cfg, use_streams=False)
+        joblist.append(Job("sma", name, n, sma_config=sma_cfg))
+        joblist.append(Job("sma-nostream", name, n, sma_config=sma_cfg))
+    results = run_jobs(joblist, workers=jobs, cache_dir=cache_dir)
+    for name, stream, elem in zip(kernels, results[::2], results[1::2]):
         t.add_row(
             name,
-            stream.cycles,
-            elem.cycles,
-            elem.cycles / stream.cycles,
-            stream.result.ap.instructions,
-            elem.result.ap.instructions,
+            stream["cycles"],
+            elem["cycles"],
+            elem["cycles"] / stream["cycles"],
+            stream["ap_instructions"],
+            elem["ap_instructions"],
         )
     t.note("both modes run the identical execute program")
     return t
@@ -503,30 +566,29 @@ def fig5_ablation(
 
 
 def fig6_occupancy(
-    kernel_name: str = "hydro", n: int = 512, buckets: int = 32
+    kernel_name: str = "hydro", n: int = 512, buckets: int = 32,
+    jobs: int = 1, cache_dir: str | None = None,
 ) -> Table:
     """Load/store queue occupancy over a run — the decoupling 'profile':
     load queues fill within one memory latency of start and stay near
     capacity until the stream tail drains."""
-    spec = get_kernel(kernel_name)
-    kernel, inputs = spec.instantiate(n)
-    from ..kernels import lower_sma as _lower  # local to avoid cycle noise
     sma_cfg, _ = _configs()
-    lowered = _lower(kernel)
-    from .runner import _fit_memory, _load_inputs  # shared plumbing
-    from ..core import SMAMachine
-    cfg = replace(sma_cfg, memory=_fit_memory(sma_cfg.memory, lowered.layout))
-    machine = SMAMachine(lowered.access_program, lowered.execute_program, cfg)
-    _load_inputs(machine, lowered.layout, kernel, inputs)
-    sampler = QueueOccupancySampler(stride=1)
-    machine.run(observer=sampler)
+    [res] = run_jobs(
+        [
+            Job(
+                "sma-occupancy", kernel_name, n,
+                sma_config=sma_cfg, buckets=buckets,
+            )
+        ],
+        workers=jobs, cache_dir=cache_dir,
+    )
     t = Table(
         "R-F6",
         f"Queue occupancy over time ({kernel_name}, n={n})",
         ("cycle", "load_occupancy", "store_occupancy"),
     )
-    load_pts = dict(sampler.load.bucketed(buckets))
-    store_pts = dict(sampler.store.bucketed(buckets))
+    load_pts = {cycle: occ for cycle, occ in res["load"]}
+    store_pts = {cycle: occ for cycle, occ in res["store"]}
     for cycle in sorted(load_pts):
         t.add_row(cycle, load_pts[cycle], store_pts.get(cycle, 0.0))
     return t
@@ -541,6 +603,7 @@ def fig7_ports(
     n: int = 256,
     ports: Sequence[int] = (1, 2, 4),
     kernels: Sequence[str] = ("daxpy", "hydro", "state_eqn"),
+    jobs: int = 1, cache_dir: str | None = None,
 ) -> Table:
     """Design ablation: does a *single* SMA node need a wider memory port
     (and a faster stream engine)?
@@ -559,19 +622,26 @@ def fig7_ports(
         f"SMA memory words/cycle vs port width (n={n})",
         ("ports", *kernels, "ep_busy_daxpy"),
     )
+    joblist = []
     for width in ports:
         mem = replace(_memory(8), accepts_per_cycle=width)
         cfg = SMAConfig(
             memory=mem, queues=QueueConfig(), stream_issue_per_cycle=width
         )
+        for name in kernels:
+            joblist.append(Job("sma", name, n, sma_config=cfg))
+    results = run_jobs(joblist, workers=jobs, cache_dir=cache_dir)
+    stride = len(kernels)
+    for i, width in enumerate(ports):
+        point = results[i * stride:(i + 1) * stride]
         row: list = [width]
         ep_busy = 0.0
-        for name in kernels:
-            kernel, inputs = get_kernel(name).instantiate(n)
-            res = run_on_sma(kernel, inputs, cfg).result
-            row.append((res.memory_reads + res.memory_writes) / res.cycles)
+        for name, res in zip(kernels, point):
+            row.append(
+                (res["memory_reads"] + res["memory_writes"]) / res["cycles"]
+            )
             if name == "daxpy":
-                ep_busy = 1.0 - res.ep.total_stalls() / res.cycles
+                ep_busy = 1.0 - res["ep_total_stalls"] / res["cycles"]
         row.append(ep_busy)
         t.add_row(*row)
     t.note("port width and stream-engine issue bandwidth swept together")
@@ -589,6 +659,7 @@ def fig8_multiprocessor(
     node_counts: Sequence[int] = (1, 2, 4),
     ports: Sequence[int] = (1, 2, 4),
     kernel: str = "daxpy",
+    jobs: int = 1, cache_dir: str | None = None,
 ) -> Table:
     """Future-work extension: N identical SMA nodes sharing one banked
     memory.  Reports the mean per-node slowdown versus running alone.
@@ -599,26 +670,27 @@ def fig8_multiprocessor(
     Results remain word-exact under contention — interference changes
     only timing, never values.
     """
-    from .runner import run_cluster
-
     t = Table(
         "R-F8",
         f"Mean node slowdown vs shared-memory ports ({kernel}, n={n})",
         ("nodes", *[f"ports{p}" for p in ports]),
     )
-    spec = get_kernel(kernel)
+    joblist = []
     for count in node_counts:
-        row = [count]
         for width in ports:
             mem = replace(
                 _memory(8), num_banks=16, accepts_per_cycle=width
             )
             cfg = SMAConfig(memory=mem, queues=QueueConfig())
-            jobs = [spec.instantiate(n, seed=100 + j) for j in range(count)]
-            result = run_cluster(jobs, cfg)
-            slowdowns = result.interference_slowdowns
-            row.append(sum(slowdowns) / len(slowdowns))
-        t.add_row(*row)
+            joblist.append(
+                Job("cluster", kernel, n, sma_config=cfg, check=True,
+                    nodes=count)
+            )
+    results = run_jobs(joblist, workers=jobs, cache_dir=cache_dir)
+    width = len(ports)
+    for i, count in enumerate(node_counts):
+        point = results[i * width:(i + 1) * width]
+        t.add_row(count, *[r["mean_slowdown"] for r in point])
     t.note("16 banks; every node verified word-exact under contention")
     return t
 

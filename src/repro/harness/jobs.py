@@ -1,0 +1,246 @@
+"""Declarative simulation jobs: the unit of work of the sweep harness.
+
+Every experiment in :mod:`repro.harness.experiments` is expressed as a
+list of :class:`Job` descriptions — *(kernel, machine, configuration)*
+triples — that :func:`run_job` turns into a flat, JSON-serializable
+``dict`` of measurements.  Keeping the job picklable and the result plain
+lets :mod:`repro.harness.parallel` fan jobs out over a process pool and
+cache results on disk, while the experiments stay pure table assembly.
+
+Compilation is memoized per process: a sweep that runs the same kernel at
+ten latencies lowers it once (``lower_sma``/``lower_scalar``), instantiates
+its input arrays once, and computes its reference outputs once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+import numpy as np
+
+from ..config import MemoryConfig, ScalarConfig, SMAConfig
+from ..kernels import get_kernel, lower_scalar, lower_sma, run_reference
+
+#: machine kinds a job can target
+MACHINES = (
+    "sma",
+    "sma-nostream",
+    "scalar",
+    "vector",
+    "cluster",
+    "sma-occupancy",
+)
+
+
+@dataclass(frozen=True)
+class Job:
+    """One simulation to run.
+
+    Frozen and built from frozen config dataclasses, so a job is hashable,
+    picklable (for the process pool) and has a stable ``repr`` (for the
+    on-disk result cache key).
+    """
+
+    machine: str
+    kernel: str
+    n: int | None = None
+    seed: int = 12345
+    sma_config: SMAConfig | None = None
+    scalar_config: ScalarConfig | None = None
+    memory_config: MemoryConfig | None = None  # vector jobs
+    #: verify outputs word-exact against the reference interpreter
+    check: bool = False
+    #: number of identical nodes (cluster jobs)
+    nodes: int = 1
+    #: time-series resolution (occupancy jobs)
+    buckets: int = 32
+
+    def __post_init__(self):
+        if self.machine not in MACHINES:
+            raise ValueError(
+                f"unknown job machine {self.machine!r}; known: {MACHINES}"
+            )
+
+
+# -- per-process memoization -------------------------------------------------
+#
+# Worker processes inherit empty caches; within one worker (or the serial
+# path) every (kernel, n, seed) is instantiated, lowered and reference-run
+# at most once no matter how many sweep points reuse it.
+
+
+@lru_cache(maxsize=None)
+def _instantiated(name: str, n: int | None, seed: int):
+    return get_kernel(name).instantiate(n, seed)
+
+
+@lru_cache(maxsize=None)
+def _lowered_sma(name: str, n: int | None, seed: int, use_streams: bool):
+    kernel, _ = _instantiated(name, n, seed)
+    return lower_sma(kernel, use_streams=use_streams)
+
+
+@lru_cache(maxsize=None)
+def _lowered_scalar(name: str, n: int | None, seed: int):
+    kernel, _ = _instantiated(name, n, seed)
+    return lower_scalar(kernel)
+
+
+@lru_cache(maxsize=None)
+def _reference(name: str, n: int | None, seed: int):
+    kernel, inputs = _instantiated(name, n, seed)
+    return run_reference(kernel, inputs)
+
+
+def _check_outputs(job: Job, machine: str, outputs) -> None:
+    golden = _reference(job.kernel, job.n, job.seed)
+    for name, want in golden.items():
+        got = outputs[name]
+        if not np.array_equal(got, want):
+            bad = int(np.flatnonzero(got != want)[0])
+            raise AssertionError(
+                f"{job.kernel}: {machine} diverges from the "
+                f"reference in array {name!r} at index {bad}: "
+                f"{got[bad]!r} != {want[bad]!r}"
+            )
+
+
+# -- job execution -----------------------------------------------------------
+
+
+def _run_sma(job: Job, use_streams: bool) -> dict:
+    from .runner import run_on_sma
+
+    kernel, inputs = _instantiated(job.kernel, job.n, job.seed)
+    lowered = _lowered_sma(job.kernel, job.n, job.seed, use_streams)
+    run = run_on_sma(
+        kernel, inputs, job.sma_config, use_streams=use_streams,
+        lowered=lowered,
+    )
+    if job.check:
+        _check_outputs(job, run.machine, run.outputs)
+    res = run.result
+    info = lowered.info
+    return {
+        "cycles": res.cycles,
+        "ap_instructions": res.ap.instructions,
+        "ep_instructions": res.ep.instructions,
+        "ap_stalls": dict(res.ap.stall_cycles),
+        "ep_stalls": dict(res.ep.stall_cycles),
+        "ep_total_stalls": res.ep.total_stalls(),
+        "mean_outstanding_loads": res.mean_outstanding_loads,
+        "max_outstanding_loads": res.max_outstanding_loads,
+        "lod_events": res.lod_events,
+        "lod_stall_cycles": res.lod_stall_cycles,
+        "memory_reads": res.memory_reads,
+        "memory_writes": res.memory_writes,
+        "load_streams": info.load_streams,
+        "store_streams": info.store_streams,
+        "gather_streams": info.gather_streams,
+        "scatter_streams": info.scatter_streams,
+        "carried_refs": info.carried_refs,
+        "computed_refs": info.computed_refs,
+    }
+
+
+def _run_scalar(job: Job) -> dict:
+    from .runner import run_on_scalar
+
+    kernel, inputs = _instantiated(job.kernel, job.n, job.seed)
+    cfg = job.scalar_config or ScalarConfig()
+    run = run_on_scalar(
+        kernel, inputs, cfg,
+        lowered=_lowered_scalar(job.kernel, job.n, job.seed),
+    )
+    if job.check:
+        _check_outputs(job, run.machine, run.outputs)
+    res = run.result
+    out = {
+        "cycles": res.cycles,
+        "instructions": res.instructions,
+        "loads": res.loads,
+        "stores": res.stores,
+        "memory_stall_cycles": res.memory_stall_cycles,
+        "bank_conflict_waits": res.bank_conflict_waits,
+    }
+    if res.cache is not None:
+        out["cache_hit_rate"] = res.cache.hit_rate
+        if hasattr(res.cache, "coverage"):
+            out["cache_coverage"] = res.cache.coverage
+    return out
+
+
+def _run_vector(job: Job) -> dict:
+    from ..kernels.lower_vector import VectorizationError
+    from .runner import run_on_vector
+
+    kernel, inputs = _instantiated(job.kernel, job.n, job.seed)
+    try:
+        run = run_on_vector(kernel, inputs, job.memory_config)
+    except VectorizationError as exc:
+        return {"vectorized": False, "reason": str(exc)}
+    if job.check:
+        _check_outputs(job, "vector", run.outputs)
+    return {"vectorized": True, "cycles": run.cycles}
+
+
+def _run_cluster(job: Job) -> dict:
+    from .runner import run_cluster
+
+    spec = get_kernel(job.kernel)
+    # per-node seeds follow the R-F8 convention: node j gets seed 100+j
+    workloads = [
+        spec.instantiate(job.n, 100 + j) for j in range(job.nodes)
+    ]
+    result = run_cluster(workloads, job.sma_config, check=job.check)
+    slowdowns = result.interference_slowdowns
+    return {
+        "cluster_cycles": result.cluster_cycles,
+        "node_cycles": list(result.node_cycles),
+        "standalone_cycles": list(result.standalone_cycles),
+        "bank_conflicts": result.bank_conflicts,
+        "memory_utilization": result.memory_utilization,
+        "mean_slowdown": sum(slowdowns) / len(slowdowns),
+    }
+
+
+def _run_occupancy(job: Job) -> dict:
+    from dataclasses import replace
+
+    from ..core import SMAMachine
+    from ..trace import QueueOccupancySampler
+    from .runner import _fit_memory, _load_inputs
+
+    kernel, inputs = _instantiated(job.kernel, job.n, job.seed)
+    lowered = _lowered_sma(job.kernel, job.n, job.seed, True)
+    cfg = job.sma_config or SMAConfig()
+    cfg = replace(cfg, memory=_fit_memory(cfg.memory, lowered.layout))
+    machine = SMAMachine(
+        lowered.access_program, lowered.execute_program, cfg
+    )
+    _load_inputs(machine, lowered.layout, kernel, inputs)
+    sampler = QueueOccupancySampler(stride=1)
+    machine.run(observer=sampler)
+    return {
+        "cycles": machine.cycle,
+        "load": [list(p) for p in sampler.load.bucketed(job.buckets)],
+        "store": [list(p) for p in sampler.store.bucketed(job.buckets)],
+    }
+
+
+def run_job(job: Job) -> dict:
+    """Execute one job; returns a flat JSON-serializable result dict."""
+    if job.machine == "sma":
+        return _run_sma(job, use_streams=True)
+    if job.machine == "sma-nostream":
+        return _run_sma(job, use_streams=False)
+    if job.machine == "scalar":
+        return _run_scalar(job)
+    if job.machine == "vector":
+        return _run_vector(job)
+    if job.machine == "cluster":
+        return _run_cluster(job)
+    if job.machine == "sma-occupancy":
+        return _run_occupancy(job)
+    raise ValueError(f"unknown job machine {job.machine!r}")

@@ -1,0 +1,98 @@
+"""Job fan-out and result caching for the sweep harness.
+
+:func:`run_jobs` is the one entry point: it takes the declarative job
+list an experiment built, optionally consults an on-disk result cache,
+runs the remaining jobs either serially (the default — deterministic and
+dependency-free, what CI uses) or across a :class:`concurrent.futures.
+ProcessPoolExecutor`, and returns results in job order.
+
+The cache key binds each result to the *code* as well as the job: a
+sha256 over every ``src/repro`` Python source (:func:`code_fingerprint`)
+is mixed into the key, so editing the simulator silently invalidates
+stale entries instead of serving them.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from functools import lru_cache
+from pathlib import Path
+from typing import Sequence
+
+from .jobs import Job, run_job
+
+_SRC_ROOT = Path(__file__).resolve().parent.parent  # src/repro
+
+
+@lru_cache(maxsize=1)
+def code_fingerprint() -> str:
+    """sha256 over every Python source under ``src/repro`` (sorted paths),
+    identifying the simulator version for the result cache."""
+    digest = hashlib.sha256()
+    for path in sorted(_SRC_ROOT.rglob("*.py")):
+        digest.update(str(path.relative_to(_SRC_ROOT)).encode())
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+        digest.update(b"\0")
+    return digest.hexdigest()
+
+
+def job_key(job: Job) -> str:
+    """Stable cache key for one job under the current code version."""
+    payload = code_fingerprint() + "\0" + repr(job)
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def _cache_path(cache_dir: Path, key: str) -> Path:
+    return cache_dir / f"{key}.json"
+
+
+def run_jobs(
+    jobs: Sequence[Job],
+    workers: int = 1,
+    cache_dir: str | Path | None = None,
+) -> list[dict]:
+    """Run ``jobs`` and return their result dicts in the same order.
+
+    ``workers > 1`` fans uncached jobs over a process pool; ``workers=1``
+    (the default) runs them in-process, which keeps CI deterministic and
+    lets the per-process compilation memoization in :mod:`.jobs` see the
+    whole sweep.  ``cache_dir``, when given, persists each result as JSON
+    keyed by (code fingerprint, job) and reuses hits on later runs.
+    """
+    results: list[dict | None] = [None] * len(jobs)
+    pending: list[int] = []
+    cache: Path | None = None
+    if cache_dir is not None:
+        cache = Path(cache_dir)
+        try:
+            cache.mkdir(parents=True, exist_ok=True)
+        except (FileExistsError, NotADirectoryError):
+            raise ValueError(
+                f"result cache path {cache} exists and is not a directory"
+            ) from None
+        for i, job in enumerate(jobs):
+            path = _cache_path(cache, job_key(job))
+            if path.exists():
+                results[i] = json.loads(path.read_text())
+            else:
+                pending.append(i)
+    else:
+        pending = list(range(len(jobs)))
+
+    if pending:
+        if workers > 1:
+            from concurrent.futures import ProcessPoolExecutor
+
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                fresh = list(pool.map(run_job, [jobs[i] for i in pending]))
+        else:
+            fresh = [run_job(jobs[i]) for i in pending]
+        for i, result in zip(pending, fresh):
+            results[i] = result
+            if cache is not None:
+                _cache_path(cache, job_key(jobs[i])).write_text(
+                    json.dumps(result)
+                )
+    return results  # type: ignore[return-value]

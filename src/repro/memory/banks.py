@@ -111,6 +111,10 @@ class BankedMemory:
             )
         return True
 
+    def bank_free_time(self, addr) -> int:
+        """Cycle at which ``addr``'s bank next accepts a request."""
+        return self._bank_free_at[as_address(addr) % self.config.num_banks]
+
     # -- completion side ---------------------------------------------------
 
     def tick(self, now: int) -> None:
@@ -123,3 +127,24 @@ class BankedMemory:
     def quiescent(self) -> bool:
         """True when no request is in flight."""
         return not self._completions
+
+    @property
+    def pending_completions(self) -> int:
+        """Number of requests in flight (loads awaiting delivery)."""
+        return len(self._completions)
+
+    def next_event_time(self, now: int) -> int | None:
+        """Earliest cycle strictly after ``now`` at which the memory's
+        externally visible state changes on its own: a pending completion
+        fires, or a busy bank becomes free (and could accept a retried
+        request).  ``None`` when nothing is scheduled — the memory will
+        never wake a stalled requester by itself.
+
+        This is the fast-forward horizon used by
+        :meth:`repro.core.SMAMachine.run`: between ``now`` and this time a
+        machine in which no unit made progress is guaranteed to repeat the
+        same stalled cycle."""
+        times = [t for t in self._bank_free_at if t > now]
+        if self._completions:
+            times.append(self._completions[0][0])
+        return min(times) if times else None

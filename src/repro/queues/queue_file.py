@@ -35,6 +35,18 @@ class QueueFile:
         self.store_addr = OperandQueue("saq", q.store_addr_depth)
         self.ep_to_ap_data = OperandQueue("eaq", q.ep_to_ap_data_depth)
         self.ep_to_ap_branch = OperandQueue("ebq", q.ep_to_ap_branch_depth)
+        # the queue complement is fixed for the machine's lifetime, so the
+        # flat view (and the slot/stats pairs the per-cycle sample loop
+        # reads) is built once
+        self._all = [
+            *self.load,
+            *self.store_data,
+            *self.index,
+            self.store_addr,
+            self.ep_to_ap_data,
+            self.ep_to_ap_branch,
+        ]
+        self._sample_pairs = [(q._slots, q.stats) for q in self._all]
 
     def resolve(self, operand: Queue) -> OperandQueue:
         """Map an ISA queue operand to its OperandQueue."""
@@ -59,20 +71,24 @@ class QueueFile:
         raise QueueError(f"unknown queue space {space}")
 
     def all_queues(self) -> list[OperandQueue]:
-        return [
-            *self.load,
-            *self.store_data,
-            *self.index,
-            self.store_addr,
-            self.ep_to_ap_data,
-            self.ep_to_ap_branch,
-        ]
+        return self._all
 
     def sample(self) -> None:
-        """Record one occupancy sample on every queue."""
-        for queue in self.all_queues():
-            queue.sample()
+        """Record one occupancy sample on every queue.
+
+        Inlines :meth:`OperandQueue.sample` over the prebuilt slot/stats
+        pairs — this runs once per simulated cycle for every queue, so
+        the method-call overhead is measurable.
+        """
+        for slots, stats in self._sample_pairs:
+            n = len(slots)
+            stats.samples += 1
+            stats.occupancy_sum += n
+            if n > stats.occupancy_max:
+                stats.occupancy_max = n
+            histogram = stats.histogram
+            histogram[n] = histogram.get(n, 0) + 1
 
     def all_drained(self) -> bool:
         """True when no queue holds any reserved or filled slot."""
-        return all(q.is_empty() for q in self.all_queues())
+        return all(q.is_empty() for q in self._all)

@@ -1,0 +1,141 @@
+"""The job layer and parallel/cached sweep harness.
+
+Covers: job execution for every machine kind, serial vs process-pool
+equality (results must not depend on ``--jobs``), the on-disk result
+cache (hits round-trip exactly, keys bind to the code version), and the
+experiments' declarative job lists feeding identical tables through
+either path.
+"""
+
+import json
+
+import pytest
+
+from repro.config import MemoryConfig, QueueConfig, ScalarConfig, SMAConfig
+from repro.harness import experiments as exp
+from repro.harness.jobs import Job, run_job
+from repro.harness.parallel import code_fingerprint, job_key, run_jobs
+
+SMA_CFG, SCALAR_CFG = exp._configs(latency=8)
+
+
+def _jobs():
+    return [
+        Job("sma", "daxpy", 32, sma_config=SMA_CFG, check=True),
+        Job("scalar", "daxpy", 32, scalar_config=SCALAR_CFG, check=True),
+        Job("sma-nostream", "hydro", 32, sma_config=SMA_CFG),
+        Job("vector", "daxpy", 32, memory_config=SCALAR_CFG.memory),
+        Job("vector", "tridiag", 32, memory_config=SCALAR_CFG.memory),
+    ]
+
+
+class TestJobs:
+    def test_unknown_machine_rejected(self):
+        with pytest.raises(ValueError, match="unknown job machine"):
+            Job("warp-drive", "daxpy")
+
+    def test_sma_job_reports_lowering_info(self):
+        res = run_job(Job("sma", "daxpy", 32, sma_config=SMA_CFG))
+        assert res["cycles"] > 0
+        assert res["load_streams"] >= 2  # x and y streams
+        assert res["memory_reads"] > 0
+
+    def test_vector_job_reports_fallback(self):
+        ok = run_job(Job("vector", "daxpy", 32))
+        assert ok["vectorized"] is True and ok["cycles"] > 0
+        rejected = run_job(Job("vector", "tridiag", 32))
+        assert rejected["vectorized"] is False
+        assert rejected["reason"]
+
+    def test_cluster_job(self):
+        res = run_job(
+            Job("cluster", "daxpy", 32, sma_config=SMA_CFG, check=True,
+                nodes=2)
+        )
+        assert len(res["node_cycles"]) == 2
+        assert res["mean_slowdown"] >= 1.0
+
+    def test_occupancy_job(self):
+        res = run_job(
+            Job("sma-occupancy", "daxpy", 64, sma_config=SMA_CFG,
+                buckets=8)
+        )
+        assert res["cycles"] > 0
+        assert res["load"] and res["store"]
+
+    def test_check_catches_divergence(self, monkeypatch):
+        from repro.harness import jobs as jobs_mod
+
+        real = jobs_mod._reference.__wrapped__
+
+        def poisoned(name, n, seed):
+            golden = dict(real(name, n, seed))
+            first = next(iter(golden))
+            golden[first] = golden[first] + 1.0
+            return golden
+
+        monkeypatch.setattr(jobs_mod, "_reference", poisoned)
+        with pytest.raises(AssertionError, match="diverges"):
+            run_job(Job("sma", "daxpy", 32, sma_config=SMA_CFG,
+                        check=True))
+
+    def test_results_are_json_serializable(self):
+        for job in _jobs():
+            json.dumps(run_job(job))
+
+
+class TestRunJobs:
+    def test_serial_matches_parallel(self):
+        jobs = _jobs()
+        serial = run_jobs(jobs, workers=1)
+        parallel = run_jobs(jobs, workers=2)
+        assert serial == parallel
+
+    def test_cache_round_trip(self, tmp_path):
+        jobs = _jobs()
+        first = run_jobs(jobs, workers=1, cache_dir=tmp_path)
+        assert len(list(tmp_path.glob("*.json"))) == len(set(jobs))
+        second = run_jobs(jobs, workers=1, cache_dir=tmp_path)
+        assert first == second
+
+    def test_cache_is_actually_used(self, tmp_path, monkeypatch):
+        jobs = _jobs()
+        first = run_jobs(jobs, workers=1, cache_dir=tmp_path)
+
+        def _explode(_job):
+            raise AssertionError("cache miss: run_job was called")
+
+        monkeypatch.setattr("repro.harness.parallel.run_job", _explode)
+        assert run_jobs(jobs, workers=1, cache_dir=tmp_path) == first
+
+    def test_cache_key_binds_code_version(self):
+        job = Job("sma", "daxpy", 32, sma_config=SMA_CFG)
+        key = job_key(job)
+        assert key != job_key(Job("sma", "daxpy", 64, sma_config=SMA_CFG))
+        # same job, same code -> same key (stable across calls)
+        assert key == job_key(Job("sma", "daxpy", 32, sma_config=SMA_CFG))
+        assert len(code_fingerprint()) == 64  # sha256 hex over src/repro
+
+
+class TestExperimentsThroughJobs:
+    def test_experiment_identical_serial_vs_parallel(self):
+        kwargs = dict(n=16, depths=(1, 4), kernels=("daxpy",))
+        serial = exp.fig2_queue_depth(**kwargs, jobs=1)
+        parallel = exp.fig2_queue_depth(**kwargs, jobs=2)
+        assert serial.to_csv() == parallel.to_csv()
+
+    def test_experiment_identical_with_cache(self, tmp_path):
+        kwargs = dict(
+            n=16, latencies=(2, 8), kernels=("daxpy", "inner_product")
+        )
+        cold = exp.fig1_latency(**kwargs, cache_dir=str(tmp_path))
+        assert list(tmp_path.glob("*.json"))
+        warm = exp.fig1_latency(**kwargs, cache_dir=str(tmp_path))
+        assert cold.to_csv() == warm.to_csv()
+
+    def test_every_experiment_accepts_harness_kwargs(self):
+        import inspect
+
+        for name, fn in exp.EXPERIMENTS.items():
+            params = inspect.signature(fn).parameters
+            assert "jobs" in params and "cache_dir" in params, name
