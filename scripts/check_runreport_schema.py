@@ -1,0 +1,101 @@
+#!/usr/bin/env python
+"""Schema-drift gate for captured RunReports (the CI metrics smoke step).
+
+Usage::
+
+    PYTHONPATH=src python scripts/check_runreport_schema.py REPORT_DIR
+
+Validates every ``*.json`` under ``REPORT_DIR`` with
+:func:`repro.metrics.validate_report` and cross-checks the code's schema
+constants against ``tests/golden_runreport.json``.  Exit status is
+non-zero on any problem, so the workflow fails on drift instead of
+silently uploading a broken artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.metrics import (  # noqa: E402
+    SCALAR_BUCKETS,
+    SCHEMA_VERSION,
+    STALL_BUCKETS,
+    validate_report,
+)
+
+GOLDEN = REPO / "tests" / "golden_runreport.json"
+
+
+def check_golden() -> list[str]:
+    """The code's schema constants must match the committed golden."""
+    golden = json.loads(GOLDEN.read_text())
+    problems = []
+    if golden["schema_version"] != SCHEMA_VERSION:
+        problems.append(
+            f"golden schema_version {golden['schema_version']} != "
+            f"code {SCHEMA_VERSION} — bump tests/golden_runreport.json "
+            f"deliberately if the schema changed"
+        )
+    if tuple(golden["sma_buckets"]) != STALL_BUCKETS:
+        problems.append("golden sma_buckets differ from STALL_BUCKETS")
+    if tuple(golden["scalar_buckets"]) != SCALAR_BUCKETS:
+        problems.append("golden scalar_buckets differ from SCALAR_BUCKETS")
+    return problems
+
+
+def check_reports(directory: Path) -> tuple[int, list[str]]:
+    golden = json.loads(GOLDEN.read_text())
+    required = golden["required_keys"]
+    buckets = {
+        "sma": set(golden["sma_buckets"]),
+        "scalar": set(golden["scalar_buckets"]),
+    }
+    paths = sorted(directory.glob("*.json"))
+    problems = []
+    for path in paths:
+        data = json.loads(path.read_text())
+        for problem in validate_report(data):
+            problems.append(f"{path.name}: {problem}")
+        if sorted(data) != required:
+            problems.append(
+                f"{path.name}: top-level keys {sorted(data)} != "
+                f"golden {required}"
+            )
+        kind = "scalar" if data.get("machine", "").startswith("scalar") \
+            else "sma"
+        if set(data.get("stall_breakdown", ())) != buckets[kind]:
+            problems.append(
+                f"{path.name}: {kind} stall buckets "
+                f"{sorted(data.get('stall_breakdown', ()))} drifted"
+            )
+    return len(paths), problems
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    directory = Path(argv[1])
+    if not directory.is_dir():
+        print(f"no such report directory: {directory}", file=sys.stderr)
+        return 2
+    problems = check_golden()
+    count, report_problems = check_reports(directory)
+    problems.extend(report_problems)
+    if count == 0:
+        problems.append(f"no RunReport JSON files under {directory}")
+    for problem in problems:
+        print(f"SCHEMA DRIFT: {problem}", file=sys.stderr)
+    if problems:
+        return 1
+    print(f"{count} RunReport(s) validated against schema v{SCHEMA_VERSION}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

@@ -187,9 +187,11 @@ cache.
 **Measured:** the RPT covers {100 * cov:.0f}% of daxpy's strided misses
 yet the SMA remains ~3× faster on unit-stride streams (blocking hit time,
 bounded lookahead). OBL on `stride8_copy` is *worse than no cache at
-all* — classic pollution. One honest crossover: the RPT edges past the
-SMA on `stride8_copy` only because the cache timing model has no bank
-contention while the SMA is genuinely one-bank-bound there."""
+all* — classic pollution. With the prefetcher's timing debts honoured
+(dirty victims of prefetch fills owe their write-back bandwidth, stride
+targets land on the lines the stream actually touches, unclaimed lines
+retire as stale) the SMA wins *every* row — the earlier apparent
+crossover on `stride8_copy` was an artifact of uncharged write-backs."""
 
     if eid == "R-T6":
         rows = t.row_map("kernel")

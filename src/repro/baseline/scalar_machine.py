@@ -44,7 +44,27 @@ class ScalarResult:
     #: cycles the processor spent waiting on memory (latency + conflicts).
     memory_stall_cycles: int
     bank_conflict_waits: int
+    #: end-of-run cycles writing back dirty cache lines (0 uncached).
+    drain_cycles: int = 0
     cache: Any = None  # CacheStats when a cache is configured
+
+    def stall_breakdown(self) -> dict[str, int]:
+        """Partition of total cycles (see repro.metrics.attribution).
+
+        The machine is event-jumped, so the buckets are derived exactly
+        from its counters: every cycle is either an issue cycle
+        (``compute``), a blocking memory wait net of bank-conflict retry
+        time (``memory_wait``), a bank-conflict wait (``bank_busy``), or
+        the end-of-run dirty-line write-back (``store_drain``); they
+        always sum to ``cycles``.
+        """
+        return {
+            "compute": self.instructions,
+            "memory_wait": self.memory_stall_cycles
+            - self.bank_conflict_waits,
+            "bank_busy": self.bank_conflict_waits,
+            "store_drain": self.drain_cycles,
+        }
 
     def to_dict(self) -> dict:
         """JSON-serializable flat summary (for harness consumers)."""
@@ -55,6 +75,7 @@ class ScalarResult:
             "stores": self.stores,
             "memory_stall_cycles": self.memory_stall_cycles,
             "bank_conflict_waits": self.bank_conflict_waits,
+            "drain_cycles": self.drain_cycles,
         }
         if self.cache is not None:
             out["cache_hits"] = self.cache.hits
@@ -127,6 +148,31 @@ class ScalarMachine:
 
     def dump_array(self, base: int, count: int):
         return self.memory.dump_array(base, count)
+
+    # -- observability -----------------------------------------------------
+
+    def attach_metrics(self, registry=None):
+        """Register this machine's counters (and its cache's / banked
+        memory's) into a metrics registry; returns the registry.
+
+        The scalar machine jumps the clock instead of ticking, so there
+        is no per-cycle hook — the registry getters plus
+        :meth:`ScalarResult.stall_breakdown` are the whole layer.
+        """
+        from ..metrics import MetricsRegistry
+
+        reg = registry if registry is not None else MetricsRegistry()
+        for key in self._stats:
+            reg.register_counter(
+                f"scalar.{key}", lambda s=self._stats, k=key: s[k]
+            )
+        reg.register_counter("scalar.cycles", lambda m=self: m.cycle)
+        if self.cache is not None:
+            self.cache.register_metrics(reg, "cache")
+        if self.banked is not None:
+            self.banked.register_metrics(reg, "memory")
+        self._metrics_registry = reg
+        return reg
 
     # -- memory helpers ----------------------------------------------------
 
@@ -234,8 +280,10 @@ class ScalarMachine:
             self.cycle += 1  # issue cycle of this instruction
             self._stats["instructions"] += 1
             self.pc = next_pc
+        drained = 0
         if self.cache is not None:
-            self.cycle += self.cache.flush_cycles()
+            drained = self.cache.flush_cycles()
+            self.cycle += drained
         return ScalarResult(
             cycles=self.cycle,
             instructions=self._stats["instructions"],
@@ -243,5 +291,6 @@ class ScalarMachine:
             stores=self._stats["stores"],
             memory_stall_cycles=self._stats["memory_stall_cycles"],
             bank_conflict_waits=self._stats["conflict_waits"],
+            drain_cycles=drained,
             cache=self.cache.stats if self.cache is not None else None,
         )

@@ -19,7 +19,15 @@ Commands
     and ``--csv`` emits machine-readable output.  ``--jobs N`` fans the
     experiment's simulation jobs over N worker processes; ``--cache DIR``
     reuses results across invocations (keyed by kernel, config, and code
-    version).
+    version).  ``--metrics`` captures a RunReport (stall attribution +
+    counters) per simulation job, ``--metrics-dir DIR`` persists them as
+    JSON, and ``--n`` overrides the problem size (what the CI metrics
+    smoke step uses).
+
+``report KERNEL``
+    Where did every cycle go?  Runs the kernel on both machines with the
+    metrics layer attached and prints the stall-attribution breakdown
+    (see ``repro.metrics``); ``--out DIR`` writes JSON/CSV exports.
 
 ``timeline KERNEL``
     Per-cycle pipeline view of a kernel on the SMA (the decoupling made
@@ -112,31 +120,84 @@ def cmd_compile(args) -> int:
 
 
 def cmd_experiment(args) -> int:
+    from contextlib import nullcontext
+
     ids = list(EXPERIMENTS) if "all" in args.ids else args.ids
-    for experiment_id in ids:
-        if experiment_id not in EXPERIMENTS:
-            print(f"unknown experiment {experiment_id!r}; "
-                  f"known: {sorted(EXPERIMENTS)} or 'all'", file=sys.stderr)
-            return 2
-        # only pass harness kwargs when requested, so experiment
-        # callables that don't take them keep working
-        kwargs = {}
+    metrics = getattr(args, "metrics", False)
+    if metrics:
+        from .metrics import capture_reports
+
         if getattr(args, "jobs", 1) != 1:
-            kwargs["jobs"] = args.jobs
-        if getattr(args, "cache", None):
-            kwargs["cache_dir"] = args.cache
-        table = run_experiment(experiment_id, **kwargs)
-        if args.csv:
-            print(table.to_csv(), end="")
-        else:
-            print(table.to_text())
-        if args.plot and experiment_id.startswith("R-F"):
-            try:
-                print()
-                print(render_plot(table))
-            except ValueError as exc:
-                print(f"  (no plot: {exc})")
+            print("--metrics capture is serial; ignoring --jobs",
+                  file=sys.stderr)
+            args.jobs = 1
+        context = capture_reports(args.metrics_dir)
+    else:
+        context = nullcontext(None)
+    with context as collector:
+        for experiment_id in ids:
+            if experiment_id not in EXPERIMENTS:
+                print(f"unknown experiment {experiment_id!r}; "
+                      f"known: {sorted(EXPERIMENTS)} or 'all'",
+                      file=sys.stderr)
+                return 2
+            # only pass harness kwargs when requested, so experiment
+            # callables that don't take them keep working
+            kwargs = {}
+            if getattr(args, "jobs", 1) != 1:
+                kwargs["jobs"] = args.jobs
+            if getattr(args, "cache", None):
+                kwargs["cache_dir"] = args.cache
+            if getattr(args, "n", None) is not None:
+                kwargs["n"] = args.n
+            table = run_experiment(experiment_id, **kwargs)
+            if args.csv:
+                print(table.to_csv(), end="")
+            else:
+                print(table.to_text())
+            if args.plot and experiment_id.startswith("R-F"):
+                try:
+                    print()
+                    print(render_plot(table))
+                except ValueError as exc:
+                    print(f"  (no plot: {exc})")
+            print()
+        if collector is not None:
+            where = (f" under {collector.directory}"
+                     if collector.directory is not None else "")
+            print(f"captured {len(collector.reports)} RunReport(s){where}")
+    return 0
+
+
+def cmd_report(args) -> int:
+    from pathlib import Path
+
+    from .harness.runner import run_on_scalar, run_on_sma
+
+    spec = get_kernel(args.kernel)
+    kernel, inputs = spec.instantiate(args.n)
+    sma_cfg, scalar_cfg = _configs(args.latency)
+    runs = []
+    if args.machine in ("both", "sma"):
+        runs.append(run_on_sma(kernel, inputs, sma_cfg, metrics=True))
+    if args.machine in ("both", "scalar"):
+        runs.append(run_on_scalar(kernel, inputs, scalar_cfg, metrics=True))
+    out_dir = Path(args.out) if args.out else None
+    if out_dir is not None:
+        out_dir.mkdir(parents=True, exist_ok=True)
+    for run in runs:
+        report = run.report
+        report.n = args.n
+        print(f"== {report.machine} · {spec.name} "
+              f"(n={args.n}, latency={args.latency}) ==")
+        print(report.breakdown_text())
         print()
+        if out_dir is not None:
+            stem = f"runreport-{report.machine}-{spec.name}"
+            (out_dir / f"{stem}.json").write_text(report.to_json() + "\n")
+            (out_dir / f"{stem}.csv").write_text(report.to_csv())
+    if out_dir is not None:
+        print(f"wrote {2 * len(runs)} file(s) under {out_dir}")
     return 0
 
 
@@ -243,6 +304,26 @@ def build_parser() -> argparse.ArgumentParser:
     p_exp.add_argument("--cache", default=None, metavar="DIR",
                        help="cache job results as JSON under DIR, keyed "
                             "by (kernel, config, code version)")
+    p_exp.add_argument("--n", type=int, default=None,
+                       help="override the experiment's problem size")
+    p_exp.add_argument("--metrics", action="store_true",
+                       help="capture a RunReport (stall attribution + "
+                            "counters) for every simulation job")
+    p_exp.add_argument("--metrics-dir", default=None, metavar="DIR",
+                       help="write captured RunReports as JSON under DIR")
+
+    p_report = sub.add_parser(
+        "report",
+        help="stall-attribution RunReport for one kernel "
+             "(where did every cycle go?)",
+    )
+    p_report.add_argument("kernel")
+    p_report.add_argument("--n", type=int, default=256)
+    p_report.add_argument("--latency", type=int, default=8)
+    p_report.add_argument("--machine", default="both",
+                          choices=["both", "sma", "scalar"])
+    p_report.add_argument("--out", default=None, metavar="DIR",
+                          help="also write JSON + CSV exports under DIR")
 
     p_timeline = sub.add_parser(
         "timeline", help="per-cycle pipeline view of a kernel on the SMA"
@@ -278,6 +359,7 @@ _COMMANDS = {
     "run": cmd_run,
     "compile": cmd_compile,
     "experiment": cmd_experiment,
+    "report": cmd_report,
     "timeline": cmd_timeline,
     "verify": cmd_verify,
     "parse": cmd_parse,

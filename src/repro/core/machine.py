@@ -30,6 +30,12 @@ counter stays bit-identical to naive ticking.  The fast path disables
 itself when an ``observer`` is attached, so trace collectors still see
 every cycle; ``fast_forward=False`` forces naive ticking (used by the
 differential property tests and the throughput benchmark).
+
+The metrics layer (:meth:`SMAMachine.attach_metrics`) is *not* an
+observer: its per-cycle stall classifier and stride samplers replay in
+closed form inside ``_replay_stall_cycles``, so attaching metrics keeps
+the fast path enabled and every bucket total bit-identical to naive
+ticking (property-tested in ``tests/test_metrics.py``).
 """
 
 from __future__ import annotations
@@ -81,6 +87,9 @@ class SMAResult:
     mean_outstanding_loads: float
     max_outstanding_loads: int
     queue_stats: dict[str, Any] = field(default_factory=dict)
+    #: per-bucket cycle partition (see repro.metrics.attribution); None
+    #: unless metrics were attached to the machine.
+    stall_breakdown: dict[str, int] | None = None
 
     @property
     def instructions(self) -> int:
@@ -96,7 +105,7 @@ class SMAResult:
 
     def to_dict(self) -> dict:
         """JSON-serializable flat summary (for harness consumers)."""
-        return {
+        out = {
             "cycles": self.cycles,
             "ap_instructions": self.ap.instructions,
             "ep_instructions": self.ep.instructions,
@@ -114,6 +123,9 @@ class SMAResult:
             "lod_events": self.lod_events,
             "lod_stall_cycles": self.lod_stall_cycles,
         }
+        if self.stall_breakdown is not None:
+            out["stall_breakdown"] = dict(self.stall_breakdown)
+        return out
 
     def summary(self) -> str:
         """Multi-line human-readable digest."""
@@ -175,6 +187,9 @@ class SMAMachine:
         self.cycle = 0
         self._occupancy_sum = 0
         self._occupancy_max = 0
+        #: stall-attribution layer, attached via attach_metrics(); unlike
+        #: an observer it does not disable cycle fast-forward
+        self._metrics = None
         # flat queue view, built once: used by the per-cycle sampling and
         # by the fast-forward statistics replay
         self._queue_list = self.queues.all_queues()
@@ -189,6 +204,32 @@ class SMAMachine:
     def dump_array(self, base: int, count: int):
         """Read back a result array after running."""
         return self.memory.dump_array(base, count)
+
+    # -- observability ---------------------------------------------------
+
+    def attach_metrics(self, samplers=None, registry=None):
+        """Attach the stall-attribution metrics layer; returns it.
+
+        Unlike ``run(observer=...)`` this keeps the cycle fast-forward
+        path enabled: the classifier and any stride samplers are replayed
+        in closed form by ``_replay_stall_cycles``.  ``samplers=None``
+        installs the default load-queue-occupancy sampler; pass an empty
+        tuple for none.
+        """
+        from ..metrics import SMAMachineMetrics, StrideSampler
+
+        if samplers is None:
+            samplers = (
+                StrideSampler(
+                    "load_queue_occupancy",
+                    lambda m: sum(map(len, m._load_slots)),
+                    stride=64,
+                ),
+            )
+        self._metrics = SMAMachineMetrics(
+            self, registry=registry, samplers=samplers
+        )
+        return self._metrics
 
     # -- the simulation loop ---------------------------------------------
 
@@ -224,6 +265,8 @@ class SMAMachine:
         self._occupancy_sum += outstanding
         if outstanding > self._occupancy_max:
             self._occupancy_max = outstanding
+        if self._metrics is not None:
+            self._metrics.on_cycle(self, now)
         self.cycle += 1
 
     def progress_state(self) -> tuple[int, ...]:
@@ -265,6 +308,10 @@ class SMAMachine:
             mean_outstanding_loads=self._occupancy_sum / cycles,
             max_outstanding_loads=self._occupancy_max,
             queue_stats={q.name: q.stats for q in self.queues.all_queues()},
+            stall_breakdown=(
+                self._metrics.stall_breakdown()
+                if self._metrics is not None else None
+            ),
         )
 
     def run(
@@ -490,4 +537,7 @@ class SMAMachine:
             # already exists (and occupancy_max already covers it)
             stats.histogram[occupancy] += count
         self._occupancy_sum += sum(map(len, self._load_slots)) * count
+        if self._metrics is not None:
+            # skipped cycles are self.cycle .. self.cycle + count - 1
+            self._metrics.on_replay(self, self.cycle, count)
         self.cycle += count

@@ -109,6 +109,27 @@ def _check_outputs(job: Job, machine: str, outputs) -> None:
 # -- job execution -----------------------------------------------------------
 
 
+def _capture(job: Job, run) -> dict:
+    """Route the run's RunReport into the ambient capture (if armed) and
+    return the extra result keys the capture adds to the job dict."""
+    if run.report is None:
+        return {}
+    from ..metrics.capture import active_capture
+
+    collector = active_capture()
+    if collector is None:  # pragma: no cover - guarded by caller
+        return {}
+    run.report.n = job.n
+    collector.add(run.report)
+    return {"stall_breakdown": dict(run.report.stall_breakdown)}
+
+
+def _metrics_armed() -> bool:
+    from ..metrics.capture import active_capture
+
+    return active_capture() is not None
+
+
 def _run_sma(job: Job, use_streams: bool) -> dict:
     from .runner import run_on_sma
 
@@ -116,13 +137,14 @@ def _run_sma(job: Job, use_streams: bool) -> dict:
     lowered = _lowered_sma(job.kernel, job.n, job.seed, use_streams)
     run = run_on_sma(
         kernel, inputs, job.sma_config, use_streams=use_streams,
-        lowered=lowered,
+        lowered=lowered, metrics=_metrics_armed(),
     )
     if job.check:
         _check_outputs(job, run.machine, run.outputs)
     res = run.result
     info = lowered.info
     return {
+        **_capture(job, run),
         "cycles": res.cycles,
         "ap_instructions": res.ap.instructions,
         "ep_instructions": res.ep.instructions,
@@ -152,11 +174,13 @@ def _run_scalar(job: Job) -> dict:
     run = run_on_scalar(
         kernel, inputs, cfg,
         lowered=_lowered_scalar(job.kernel, job.n, job.seed),
+        metrics=_metrics_armed(),
     )
     if job.check:
         _check_outputs(job, run.machine, run.outputs)
     res = run.result
     out = {
+        **_capture(job, run),
         "cycles": res.cycles,
         "instructions": res.instructions,
         "loads": res.loads,
@@ -168,6 +192,8 @@ def _run_scalar(job: Job) -> dict:
         out["cache_hit_rate"] = res.cache.hit_rate
         if hasattr(res.cache, "coverage"):
             out["cache_coverage"] = res.cache.coverage
+        if hasattr(res.cache, "prefetch_accuracy"):
+            out["cache_accuracy"] = res.cache.prefetch_accuracy
     return out
 
 

@@ -38,6 +38,8 @@ class KernelRun:
     result: Any  # SMAResult | ScalarResult
     outputs: dict[str, np.ndarray]
     layout: Layout
+    #: RunReport when the run was made with metrics=True, else None
+    report: Any = None
 
     @property
     def cycles(self) -> int:
@@ -72,8 +74,14 @@ def run_on_sma(
     use_streams: bool = True,
     lowered: LoweredSMA | None = None,
     max_cycles: int = 10_000_000,
+    metrics: bool = False,
 ) -> KernelRun:
-    """Compile (or reuse ``lowered``) and run ``kernel`` on the SMA."""
+    """Compile (or reuse ``lowered``) and run ``kernel`` on the SMA.
+
+    ``metrics=True`` attaches the stall-attribution layer (fast-forward
+    stays enabled) and fills :attr:`KernelRun.report` with a
+    :class:`repro.metrics.RunReport`.
+    """
     cfg = config or SMAConfig()
     if lowered is None:
         lowered = lower_sma(kernel, use_streams=use_streams)
@@ -81,14 +89,21 @@ def run_on_sma(
     machine = SMAMachine(
         lowered.access_program, lowered.execute_program, cfg
     )
+    machine_metrics = machine.attach_metrics() if metrics else None
     _load_inputs(machine, lowered.layout, kernel, inputs)
     result: SMAResult = machine.run(max_cycles=max_cycles)
+    report = None
+    if machine_metrics is not None:
+        from ..metrics import sma_report
+
+        report = sma_report(machine, machine_metrics, kernel=kernel.name)
     return KernelRun(
         kernel,
         "sma" if lowered.uses_streams else "sma-nostream",
         result,
         _dump_outputs(machine, lowered.layout, kernel),
         lowered.layout,
+        report,
     )
 
 
@@ -98,21 +113,36 @@ def run_on_scalar(
     config: ScalarConfig | None = None,
     lowered: LoweredScalar | None = None,
     max_cycles: int = 100_000_000,
+    metrics: bool = False,
 ) -> KernelRun:
-    """Compile (or reuse ``lowered``) and run ``kernel`` on the baseline."""
+    """Compile (or reuse ``lowered``) and run ``kernel`` on the baseline.
+
+    ``metrics=True`` registers the machine's counters and fills
+    :attr:`KernelRun.report` with a :class:`repro.metrics.RunReport`.
+    """
     cfg = config or ScalarConfig()
     if lowered is None:
         lowered = lower_scalar(kernel)
     cfg = replace(cfg, memory=_fit_memory(cfg.memory, lowered.layout))
     machine = ScalarMachine(lowered.program, cfg)
+    registry = machine.attach_metrics() if metrics else None
     _load_inputs(machine, lowered.layout, kernel, inputs)
     result: ScalarResult = machine.run(max_cycles=max_cycles)
+    machine_name = "scalar-cache" if cfg.cache is not None else "scalar"
+    report = None
+    if registry is not None:
+        from ..metrics import scalar_report
+
+        report = scalar_report(
+            result, registry, machine=machine_name, kernel=kernel.name
+        )
     return KernelRun(
         kernel,
-        "scalar-cache" if cfg.cache is not None else "scalar",
+        machine_name,
         result,
         _dump_outputs(machine, lowered.layout, kernel),
         lowered.layout,
+        report,
     )
 
 

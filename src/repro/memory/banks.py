@@ -56,6 +56,16 @@ class BankedMemory:
         self._issues_at = (-1, 0)  # (cycle, count) for the port limit
         self.stats = MemoryStats(per_bank_accesses=[0] * config.num_banks)
 
+    def register_metrics(self, registry, prefix: str = "memory") -> None:
+        """Publish traffic/contention counters into a metrics registry."""
+        from ..metrics.registry import register_stats
+
+        register_stats(registry, prefix, self.stats)
+        registry.register_histogram(
+            f"{prefix}.per_bank_accesses",
+            lambda s=self.stats: dict(enumerate(s.per_bank_accesses)),
+        )
+
     # -- issue side ------------------------------------------------------
 
     def can_accept(self, addr, now: int) -> bool:

@@ -60,6 +60,15 @@ class DataCache:
         self._tick = 0
         self.stats = CacheStats()
 
+    def register_metrics(self, registry, prefix: str = "cache") -> None:
+        """Publish the cache counters into a metrics registry."""
+        from ..metrics.registry import register_stats
+
+        register_stats(registry, prefix, self.stats)
+        registry.register_counter(
+            f"{prefix}.hit_rate", lambda s=self.stats: s.hit_rate
+        )
+
     def _locate(self, addr: int) -> tuple[int, int]:
         line_addr = addr // self.config.line_words
         return line_addr % self.config.num_sets, line_addr

@@ -45,12 +45,21 @@ class PrefetchConfig:
     table_size: int = 4
     #: lines fetched ahead per trigger.
     degree: int = 1
+    #: cycles past its ready time after which an unclaimed prefetched
+    #: line is dropped from the pending set (bounds ``_pending`` on
+    #: irregular streams and feeds ``prefetch_accuracy``); ``None``
+    #: picks ``max(64, 16 × memory_latency)`` at construction — generous
+    #: enough that a streaming consumer a few lines behind never loses a
+    #: useful prefetch, small enough to bound the pending set.
+    stale_after: int | None = None
 
     def __post_init__(self) -> None:
         if self.policy not in ("obl", "stride"):
             raise ValueError(f"unknown prefetch policy {self.policy!r}")
         if self.table_size < 1 or self.degree < 1:
             raise ValueError("table_size and degree must be >= 1")
+        if self.stale_after is not None and self.stale_after < 1:
+            raise ValueError("stale_after must be >= 1 (or None for auto)")
 
 
 @dataclass
@@ -60,6 +69,9 @@ class PrefetchStats(CacheStats):
     prefetch_hits: int = 0
     #: demand accesses that caught a prefetch still in flight.
     prefetch_partial_hits: int = 0
+    #: prefetched lines never claimed by a demand access (retired from
+    #: the pending set after going stale, or left over at flush).
+    prefetches_stale: int = 0
 
     @property
     def coverage(self) -> float:
@@ -67,6 +79,12 @@ class PrefetchStats(CacheStats):
         covered = self.prefetch_hits + self.prefetch_partial_hits
         total = self.misses + covered
         return covered / total if total else 0.0
+
+    @property
+    def prefetch_accuracy(self) -> float:
+        """Fraction of issued prefetches a demand access actually used."""
+        used = self.prefetch_hits + self.prefetch_partial_hits
+        return used / self.prefetches_issued if self.prefetches_issued else 0.0
 
 
 class PrefetchingCache(DataCache):
@@ -82,9 +100,20 @@ class PrefetchingCache(DataCache):
         self.prefetch_config = prefetch or PrefetchConfig()
         self.stats = PrefetchStats()
         #: line tag -> cycle the prefetched line becomes usable
+        #: (insertion order tracks ready order: ready times are monotone
+        #: in the access clock, which is what lets _retire_stale sweep
+        #: only the front)
         self._pending: dict[int, int] = {}
         #: reference prediction table: pc -> (last_addr, stride, confirmed)
         self._rpt: dict[int, tuple[int, int, bool]] = {}
+        #: write-back bandwidth owed by dirty victims that prefetch fills
+        #: evicted; settled on the next demand miss (see _install)
+        self._deferred_writeback_cycles = 0
+        self._stale_after = (
+            self.prefetch_config.stale_after
+            if self.prefetch_config.stale_after is not None
+            else max(64, 16 * memory_latency)
+        )
 
     # -- internals -----------------------------------------------------
 
@@ -98,9 +127,14 @@ class PrefetchingCache(DataCache):
             victim_tag = min(cache_set, key=lambda t: cache_set[t].last_used)
             victim = cache_set.pop(victim_tag)
             if victim.dirty:
-                # write-back bandwidth is charged to the *next* demand miss
-                # in this simple model; count it for fidelity of stats
+                # a prefetch fill costs the requester nothing up front,
+                # so the victim's write-back bandwidth is owed as debt
+                # and charged to the next demand miss (any remainder is
+                # settled at flush_cycles) — the bus still moved the line
                 self.stats.writebacks += 1
+                self._deferred_writeback_cycles += (
+                    self.config.line_words * self.config.transfer_cycles
+                )
         from .cache import _Line  # shared line record
 
         cache_set[line_tag] = _Line(line_tag, self._tick)
@@ -134,10 +168,18 @@ class PrefetchingCache(DataCache):
         if not confirmed:
             return
         line_words = self.config.line_words
-        targets = [
-            (addr + delta * line_words * k) // line_words
-            for k in range(1, cfg.degree + 1)
-        ]
+        cur_line = addr // line_words
+        direction = 1 if delta > 0 else -1
+        targets = []
+        for k in range(1, cfg.degree + 1):
+            # the line the stream will actually touch k accesses ahead
+            target = (addr + delta * k) // line_words
+            if target == cur_line:
+                # |delta| < line_words: keep the lookahead in whole lines
+                # so the prefetcher runs ahead of the stream instead of
+                # re-requesting the line it is already in
+                target = cur_line + direction * k
+            targets.append(target)
         self._request_lines(targets, ready_base)
 
     def _issue_prefetches(self, line_tag: int, ready_base: int) -> None:
@@ -149,6 +191,25 @@ class PrefetchingCache(DataCache):
             (line_tag + k for k in range(1, cfg.degree + 1)), ready_base
         )
 
+    def _retire_stale(self, now: int) -> None:
+        """Drop pending lines whose ready time passed more than
+        ``stale_after`` cycles ago without a demand claiming them.
+
+        ``_pending`` is insertion-ordered and ready times are monotone in
+        the access clock, so only the front of the dict can be stale —
+        the sweep stops at the first fresh entry.
+        """
+        pending = self._pending
+        threshold = now - self._stale_after
+        stale = 0
+        for tag, ready in pending.items():
+            if ready > threshold:
+                break
+            stale += 1
+        for _ in range(stale):
+            pending.pop(next(iter(pending)))
+        self.stats.prefetches_stale += stale
+
     # -- the timing interface used by the scalar machine ------------------
 
     def access(self, addr, is_write: bool, now: int = 0,
@@ -158,6 +219,8 @@ class PrefetchingCache(DataCache):
         a = as_address(addr)
         self._tick += 1
         cfg = self.config
+        if self._pending:
+            self._retire_stale(now)
         set_index, tag = self._locate(a)
         cache_set = self._sets[set_index]
         if self.prefetch_config.policy == "stride":
@@ -185,13 +248,16 @@ class PrefetchingCache(DataCache):
                 cost = cfg.hit_time + (ready - now)
             self._issue_prefetches(tag, now + cost)
             return cost
-        # genuine demand miss: same cost structure as the plain cache
+        # genuine demand miss: same cost structure as the plain cache,
+        # plus any write-back debt owed by earlier prefetch-fill evictions
         self.stats.misses += 1
         cost = (
             cfg.hit_time
             + self.memory_latency
             + (cfg.line_words - 1) * cfg.transfer_cycles
+            + self._deferred_writeback_cycles
         )
+        self._deferred_writeback_cycles = 0
         if len(cache_set) >= cfg.associativity:
             victim_tag = min(cache_set, key=lambda t: cache_set[t].last_used)
             victim = cache_set.pop(victim_tag)
@@ -206,3 +272,23 @@ class PrefetchingCache(DataCache):
         cache_set[tag] = new_line
         self._issue_prefetches(tag, now + cost)
         return cost
+
+    def flush_cycles(self) -> int:
+        """End-of-run drain: dirty lines plus any write-back debt still
+        owed, with in-flight-but-never-used prefetches retired so
+        ``prefetch_accuracy`` accounts for them."""
+        cycles = super().flush_cycles() + self._deferred_writeback_cycles
+        self._deferred_writeback_cycles = 0
+        self.stats.prefetches_stale += len(self._pending)
+        self._pending.clear()
+        return cycles
+
+    def register_metrics(self, registry, prefix: str = "cache") -> None:
+        super().register_metrics(registry, prefix)
+        registry.register_counter(
+            f"{prefix}.coverage", lambda s=self.stats: s.coverage
+        )
+        registry.register_counter(
+            f"{prefix}.prefetch_accuracy",
+            lambda s=self.stats: s.prefetch_accuracy,
+        )

@@ -1,0 +1,38 @@
+"""Observability layer: counter/histogram registry, stall attribution,
+stride sampling and the RunReport export.
+
+Everything here is *read-side*: the registry holds lazy getters over the
+stats dataclasses the timed components already maintain, so attaching
+metrics adds nothing to the simulator's hot loop except the per-cycle
+stall classifier — and that classifier replays in closed form under the
+cycle fast-forward path (see :mod:`repro.core.machine`), so attaching
+metrics does not disable it.
+"""
+
+from .attribution import SCALAR_BUCKETS, SMAMachineMetrics, STALL_BUCKETS
+from .capture import ReportCapture, active_capture, capture_reports
+from .registry import MetricsRegistry, StrideSampler, register_stats
+from .report import (
+    SCHEMA_VERSION,
+    RunReport,
+    scalar_report,
+    sma_report,
+    validate_report,
+)
+
+__all__ = [
+    "MetricsRegistry",
+    "ReportCapture",
+    "RunReport",
+    "SCALAR_BUCKETS",
+    "SCHEMA_VERSION",
+    "SMAMachineMetrics",
+    "STALL_BUCKETS",
+    "StrideSampler",
+    "active_capture",
+    "capture_reports",
+    "register_stats",
+    "scalar_report",
+    "sma_report",
+    "validate_report",
+]

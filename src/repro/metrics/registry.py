@@ -1,0 +1,150 @@
+"""The metric registry: named counters, histograms and stride samplers.
+
+Design rule: the registry never *stores* metric values — it stores
+**getters** over the statistics objects the timed components already
+maintain (``APStats``, ``CacheStats``, ``MemoryStats``, ``QueueStats``,
+…).  Registration happens once at attach time; values are read only when
+a snapshot is taken for a :class:`repro.metrics.report.RunReport`.  The
+simulator's per-cycle loop therefore pays nothing for the registry, and
+— because the underlying counters are exactly the ones the fast-forward
+replay already advances in closed form — a snapshot is bit-identical
+whether the run ticked naively or fast-forwarded.
+
+The one per-cycle citizen is :class:`StrideSampler`: a decimating probe
+(sample every *k*-th cycle) whose firing schedule is a pure function of
+the cycle number, which is what makes its closed-form replay exact: in a
+fully-idle window the probed value is constant, so the skipped firings
+can be counted arithmetically instead of simulated.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Mapping
+
+
+class MetricsRegistry:
+    """Flat namespace of lazily-evaluated metrics.
+
+    Names are dotted component paths (``ap.instructions``,
+    ``queue.lq0.full_stalls``, ``memory.bank_conflicts``).  Duplicate
+    registration is an error — it would silently shadow a component.
+    """
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Callable[[], float]] = {}
+        self._histograms: dict[str, Callable[[], Mapping]] = {}
+        self.samplers: list[StrideSampler] = []
+
+    def register_counter(
+        self, name: str, getter: Callable[[], float]
+    ) -> None:
+        if name in self._counters:
+            raise ValueError(f"duplicate counter {name!r}")
+        self._counters[name] = getter
+
+    def register_histogram(
+        self, name: str, getter: Callable[[], Mapping]
+    ) -> None:
+        if name in self._histograms:
+            raise ValueError(f"duplicate histogram {name!r}")
+        self._histograms[name] = getter
+
+    def add_sampler(self, sampler: "StrideSampler") -> None:
+        if any(s.name == sampler.name for s in self.samplers):
+            raise ValueError(f"duplicate sampler {sampler.name!r}")
+        self.samplers.append(sampler)
+
+    # -- snapshots -------------------------------------------------------
+
+    def counter_values(self) -> dict[str, float]:
+        """Current value of every counter, sorted by name."""
+        return {name: g() for name, g in sorted(self._counters.items())}
+
+    def histogram_values(self) -> dict[str, dict]:
+        """Current contents of every histogram (keys stringified so the
+        snapshot is JSON-clean)."""
+        return {
+            name: {str(k): v for k, v in g().items()}
+            for name, g in sorted(self._histograms.items())
+        }
+
+    def sampler_values(self) -> dict[str, dict]:
+        return {s.name: s.summary() for s in self.samplers}
+
+
+def register_stats(registry: MetricsRegistry, prefix: str, stats) -> None:
+    """Publish a stats dataclass: every numeric field becomes a counter
+    ``prefix.field`` and every dict field a histogram.  This is how the
+    timed components (processors, stream engine, store unit, caches,
+    memory banks, queues) expose themselves without bespoke glue."""
+    for f in dataclasses.fields(stats):
+        value = getattr(stats, f.name)
+        name = f"{prefix}.{f.name}"
+        if isinstance(value, bool):  # pragma: no cover - no bool stats yet
+            continue
+        if isinstance(value, (int, float)):
+            registry.register_counter(
+                name, lambda s=stats, n=f.name: getattr(s, n)
+            )
+        elif isinstance(value, dict):
+            registry.register_histogram(
+                name, lambda s=stats, n=f.name: getattr(s, n)
+            )
+        # lists (e.g. per_bank_accesses) need a shape decision; the
+        # owning component registers those explicitly
+
+
+class StrideSampler:
+    """Sample ``probe(machine)`` on every cycle divisible by ``stride``.
+
+    The schedule depends only on the cycle number, never on history, so a
+    fast-forwarded idle window ``[start, start + count)`` — during which
+    the probed state is by definition constant — contributes exactly
+    ``ceil`` arithmetic's worth of firings via :meth:`on_replay`, keeping
+    sample count, sum and maximum bit-identical to naive ticking.  Probes
+    should return exact values (ints) for that guarantee to be literal.
+    """
+
+    __slots__ = ("name", "probe", "stride", "samples", "total", "maximum")
+
+    def __init__(self, name: str, probe: Callable, stride: int = 64):
+        if stride < 1:
+            raise ValueError("sampler stride must be >= 1")
+        self.name = name
+        self.probe = probe
+        self.stride = stride
+        self.samples = 0
+        self.total = 0
+        self.maximum = 0
+
+    def on_cycle(self, machine, cycle: int) -> None:
+        if cycle % self.stride == 0:
+            self._record(self.probe(machine), 1)
+
+    def on_replay(self, machine, start: int, count: int) -> None:
+        """Closed-form firings for the skipped cycles
+        ``start .. start + count - 1`` (machine state constant)."""
+        first = start + (-start) % self.stride
+        last = start + count - 1
+        if first > last:
+            return
+        self._record(self.probe(machine), (last - first) // self.stride + 1)
+
+    def _record(self, value, repeats: int) -> None:
+        self.samples += repeats
+        self.total += value * repeats
+        if value > self.maximum:
+            self.maximum = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.samples if self.samples else 0.0
+
+    def summary(self) -> dict:
+        return {
+            "stride": self.stride,
+            "samples": self.samples,
+            "mean": self.mean,
+            "max": self.maximum,
+        }

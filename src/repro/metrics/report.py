@@ -1,0 +1,163 @@
+"""RunReport: the per-run metrics export (JSON / CSV).
+
+One :class:`RunReport` captures everything the metrics layer measured in
+one machine run: total cycles, the stall-attribution breakdown, every
+registry counter and histogram, and the stride-sampler summaries.  The
+schema is versioned and validated — CI runs a small experiment with
+``--metrics`` and fails on drift (``scripts/check_runreport_schema.py``).
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from dataclasses import dataclass, field
+
+#: bump when the RunReport layout changes shape (adding *optional* keys
+#: inside counters/histograms does not count; changing required keys or
+#: bucket semantics does).
+SCHEMA_VERSION = 1
+
+#: required top-level keys and their JSON types.
+REQUIRED_FIELDS: dict[str, type | tuple[type, ...]] = {
+    "schema_version": int,
+    "machine": str,
+    "kernel": str,
+    "n": (int, type(None)),
+    "cycles": int,
+    "stall_breakdown": dict,
+    "counters": dict,
+    "histograms": dict,
+    "samples": dict,
+}
+
+
+@dataclass
+class RunReport:
+    """One machine run's measurements, ready for JSON/CSV export."""
+
+    machine: str  # "sma" | "scalar" | "scalar-cache" | ...
+    kernel: str
+    cycles: int
+    stall_breakdown: dict[str, int]
+    n: int | None = None
+    counters: dict = field(default_factory=dict)
+    histograms: dict = field(default_factory=dict)
+    samples: dict = field(default_factory=dict)
+    schema_version: int = SCHEMA_VERSION
+
+    def to_dict(self) -> dict:
+        return {
+            "schema_version": self.schema_version,
+            "machine": self.machine,
+            "kernel": self.kernel,
+            "n": self.n,
+            "cycles": self.cycles,
+            "stall_breakdown": dict(self.stall_breakdown),
+            "counters": dict(self.counters),
+            "histograms": {k: dict(v) for k, v in self.histograms.items()},
+            "samples": {k: dict(v) for k, v in self.samples.items()},
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def to_csv(self) -> str:
+        """Flat ``metric,value`` rows (buckets, then counters, then
+        sampler summaries) — the join-friendly export."""
+        out = io.StringIO()
+        out.write("metric,value\n")
+        out.write(f"machine,{self.machine}\n")
+        out.write(f"kernel,{self.kernel}\n")
+        out.write(f"n,{'' if self.n is None else self.n}\n")
+        out.write(f"cycles,{self.cycles}\n")
+        for bucket, cycles in self.stall_breakdown.items():
+            out.write(f"stall.{bucket},{cycles}\n")
+        for name, value in self.counters.items():
+            out.write(f"counter.{name},{value}\n")
+        for name, summary in self.samples.items():
+            for key, value in summary.items():
+                out.write(f"sample.{name}.{key},{value}\n")
+        return out.getvalue()
+
+    def breakdown_text(self) -> str:
+        """Aligned human-readable stall table with percentages."""
+        total = max(self.cycles, 1)
+        width = max(len(b) for b in self.stall_breakdown)
+        lines = []
+        for bucket, cycles in self.stall_breakdown.items():
+            lines.append(
+                f"{bucket:<{width}}  {cycles:>10}  "
+                f"{100.0 * cycles / total:6.2f}%"
+            )
+        lines.append(f"{'total':<{width}}  {self.cycles:>10}  100.00%")
+        return "\n".join(lines)
+
+
+def validate_report(data: dict) -> list[str]:
+    """Validate one RunReport dict; returns a list of problems (empty =
+    valid).  This is the schema-drift gate CI runs."""
+    problems: list[str] = []
+    for key, expected in REQUIRED_FIELDS.items():
+        if key not in data:
+            problems.append(f"missing required key {key!r}")
+        elif not isinstance(data[key], expected):
+            problems.append(
+                f"key {key!r} has type {type(data[key]).__name__}, "
+                f"expected {expected}"
+            )
+    if problems:
+        return problems
+    if data["schema_version"] != SCHEMA_VERSION:
+        problems.append(
+            f"schema_version {data['schema_version']} != {SCHEMA_VERSION}"
+        )
+    breakdown = data["stall_breakdown"]
+    for bucket, cycles in breakdown.items():
+        if not isinstance(cycles, int) or cycles < 0:
+            problems.append(f"bucket {bucket!r} not a non-negative int")
+    total = sum(v for v in breakdown.values() if isinstance(v, int))
+    if total != data["cycles"]:
+        problems.append(
+            f"stall buckets sum to {total}, cycles is {data['cycles']}"
+        )
+    return problems
+
+
+# -- builders ----------------------------------------------------------------
+
+
+def sma_report(machine, metrics, kernel: str = "",
+               n: int | None = None) -> RunReport:
+    """Build a RunReport from a finished SMA run with metrics attached."""
+    registry = metrics.registry
+    return RunReport(
+        machine="sma",
+        kernel=kernel,
+        n=n,
+        cycles=machine.cycle,
+        stall_breakdown=metrics.stall_breakdown(),
+        counters=registry.counter_values(),
+        histograms=registry.histogram_values(),
+        samples=registry.sampler_values(),
+    )
+
+
+def scalar_report(result, registry, machine: str = "scalar",
+                  kernel: str = "", n: int | None = None) -> RunReport:
+    """Build a RunReport from a finished scalar-baseline run.
+
+    The scalar machine is event-jumped, so its breakdown is derived from
+    counters (:meth:`repro.baseline.ScalarResult.stall_breakdown`) rather
+    than classified per cycle — the partition invariant holds either way.
+    """
+    return RunReport(
+        machine=machine,
+        kernel=kernel,
+        n=n,
+        cycles=result.cycles,
+        stall_breakdown=result.stall_breakdown(),
+        counters=registry.counter_values(),
+        histograms=registry.histogram_values(),
+        samples=registry.sampler_values(),
+    )

@@ -1,9 +1,11 @@
 """Prefetching cache: OBL and RPT policies, timing, coverage stats."""
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.config import CacheConfig, MemoryConfig, ScalarConfig
-from repro.memory import PrefetchConfig, PrefetchingCache
+from repro.memory import DataCache, PrefetchConfig, PrefetchingCache
 
 
 def make(policy="stride", latency=8, degree=1, table_size=4, **cache_kw):
@@ -125,3 +127,167 @@ class TestStats:
         c.access(1, False, now=2)
         assert c.stats.hits == 1
         assert c.stats.misses == 1
+
+
+class TestDeferredWriteback:
+    """A dirty victim evicted by a prefetch *fill* owes its write-back
+    bandwidth; the debt lands on the next demand miss (hand-computed
+    trace: 2 sets x 2 ways, line_words=4, latency=8, transfer=1)."""
+
+    def test_hand_computed_trace(self):
+        c = PrefetchingCache(
+            CacheConfig(size_words=16, line_words=4, associativity=2),
+            memory_latency=8,
+            prefetch=PrefetchConfig("obl"),
+        )
+        miss = 1 + 8 + 3  # hit_time + latency + (line_words-1)*transfer
+        # two dirty lines fill set 0
+        assert c.access(0, True, now=0) == miss     # line 0, prefetch line 1
+        assert c.access(8, True, now=20) == miss    # line 2, prefetch line 3
+        # demand miss on line 5 (set 1) prefetches line 6 (ready at 40+12+8)
+        assert c.access(20, False, now=40) == miss
+        # demand on line 6 claims the completed prefetch: the install
+        # evicts dirty line 0, which costs the *requester* nothing now
+        assert c.access(24, False, now=60) == 1
+        assert c.stats.writebacks == 1
+        assert c._deferred_writeback_cycles == 4  # line_words * transfer
+        # next demand miss (line 8, set 0) pays: clean-miss 12 + its own
+        # dirty victim (line 2) 4 + the deferred debt 4
+        assert c.access(32, False, now=80) == miss + 4 + 4
+        # debt settled: a later clean miss is back to the base cost
+        assert c.access(40, False, now=120) == miss
+
+    def test_remaining_debt_settles_at_flush(self):
+        c = PrefetchingCache(
+            CacheConfig(size_words=16, line_words=4, associativity=2),
+            memory_latency=8,
+            prefetch=PrefetchConfig("obl"),
+        )
+        c.access(0, True, now=0)
+        c.access(8, True, now=20)
+        c.access(20, False, now=40)
+        c.access(24, False, now=60)  # prefetch install evicts dirty line 0
+        assert c._deferred_writeback_cycles == 4
+        # no further demand miss: the flush must still pay the debt
+        # (dirty lines 2 and 6? line 6 was a read -> only line 2 dirty)
+        flushed = c.flush_cycles()
+        assert flushed == 1 * 4 + 4  # one dirty line + the debt
+        assert c._deferred_writeback_cycles == 0
+
+
+class TestStrideTargets:
+    """_train_rpt must prefetch the line containing ``addr + delta*k``
+    (lookahead in lines for sub-line strides), not ``delta`` whole lines
+    per trigger."""
+
+    def _walk(self, c, base, stride, count, pc, start_now=0, gap=1):
+        now = start_now
+        for i in range(count):
+            now += c.access(base + i * stride, False, now=now, pc=pc) + gap
+        return now
+
+    def test_stride2_daxpy_like_stream_is_covered(self):
+        # two stride-2 load streams and a stride-2 store stream, as a
+        # daxpy over interleaved (re,im) arrays would issue
+        c = make("stride", table_size=16, degree=2, size_words=256)
+        now = 0
+        for i in range(0, 128, 2):
+            now += c.access(1000 + i, False, now=now, pc=1) + 1
+            now += c.access(2000 + i, False, now=now, pc=2) + 1
+            now += c.access(3000 + i, True, now=now, pc=3) + 1
+        s = c.stats
+        assert s.coverage > 0.8, f"coverage {s.coverage:.3f}"
+        # the stream touches every line; almost none should demand-miss
+        lines_touched = 3 * (128 // 4)
+        assert s.misses < lines_touched // 4
+
+    def test_word_stride_targets_lines_actually_touched(self):
+        # stride 8 words = 2 lines: the prefetcher must request line+2k,
+        # not line+8k (the old, dimensionally wrong arithmetic)
+        c = make("stride", size_words=256, degree=1)
+        self._walk(c, base=0, stride=8, count=3, pc=7, gap=19)
+        # after [0, 8, 16] the confirmed entry targets (16+8)//4 = line 6
+        assert 6 in c._pending
+        assert 12 not in c._pending  # old code requested line 4 + 8 = 12
+
+    def test_negative_sub_line_stride_runs_backwards(self):
+        c = make("stride", size_words=256)
+        # stride -2 words inside line_words=4: lookahead falls back to
+        # whole lines in the stream's direction
+        self._walk(c, base=401, stride=-2, count=3, pc=3, gap=19)
+        assert c.stats.prefetches_issued >= 1
+        assert all(t < 401 // 4 for t in c._pending)
+
+
+class TestStalePending:
+    def test_unclaimed_prefetches_retire(self):
+        c = make("obl", latency=8)
+        c.access(0, False, now=0)  # prefetches line 1
+        assert len(c._pending) == 1
+        # far in the future, an unrelated access sweeps the stale entry
+        c.access(4000, False, now=10_000)
+        assert len(c._pending) == 1  # only the new OBL prefetch remains
+        assert 1 not in c._pending
+        assert c.stats.prefetches_stale == 1
+
+    def test_pending_is_bounded_on_irregular_stream(self):
+        # a never-repeating OBL stream issues a prefetch per miss; the
+        # stale sweep must keep the pending set from growing without bound
+        c = make("obl", latency=8, size_words=64)
+        now = 0
+        for i in range(0, 400 * 8, 8):  # one miss per access, 2 lines apart
+            now += c.access(i, False, now=now) + 1
+        # entries live ~(miss_cost + latency + stale window) cycles and
+        # are issued one per ~13 cycles, so the steady state is ~12 deep
+        assert len(c._pending) <= 20
+        assert c.stats.prefetches_stale > 300
+
+    def test_accuracy_reflects_useless_prefetches(self):
+        c = make("obl", latency=8)
+        c.access(0, False, now=0)       # prefetch line 1 ...
+        c.access(4, False, now=30)      # ... claimed: accurate
+        c.access(4000, False, now=10_000)  # line-1000 prefetch goes stale
+        c.flush_cycles()                   # retires everything in flight
+        s = c.stats
+        assert s.prefetches_issued == 3
+        assert s.prefetch_hits == 1
+        assert s.prefetches_stale == 2
+        assert s.prefetch_accuracy == pytest.approx(1 / 3)
+
+    def test_accuracy_zero_when_nothing_issued(self):
+        assert make("stride").stats.prefetch_accuracy == 0.0
+
+
+class TestDegeneracy:
+    """A PrefetchingCache whose stride predictor never confirms must be
+    bit-identical to the plain DataCache in costs and stats."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        accesses=st.lists(
+            st.tuples(st.integers(0, 511), st.booleans()),
+            min_size=1, max_size=120,
+        ),
+        gap=st.integers(1, 30),
+    )
+    def test_never_confirming_stride_degenerates_to_plain_cache(
+        self, accesses, gap
+    ):
+        cfg = CacheConfig(size_words=64, line_words=4, associativity=2)
+        plain = DataCache(cfg, memory_latency=8)
+        prefetching = PrefetchingCache(
+            cfg, memory_latency=8,
+            prefetch=PrefetchConfig("stride", table_size=4),
+        )
+        now = 0
+        for pc, (addr, is_write) in enumerate(accesses):
+            # a unique pc per access: the RPT can never confirm a stride
+            want = plain.access(addr, is_write, now=now, pc=pc)
+            got = prefetching.access(addr, is_write, now=now, pc=pc)
+            assert got == want
+            now += want + gap
+        assert prefetching.stats.prefetches_issued == 0
+        for field in ("hits", "misses", "writebacks"):
+            assert getattr(prefetching.stats, field) == \
+                getattr(plain.stats, field)
+        assert prefetching.flush_cycles() == plain.flush_cycles()
