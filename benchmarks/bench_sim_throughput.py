@@ -26,15 +26,18 @@ simulator-engineering win.  Run with::
 
 import os
 import time
+from dataclasses import replace
 
 import pytest
 
+from repro.config import MemoryConfig, SMAConfig
 from repro.core import machine as machine_mod
+from repro.core.cluster import SMACluster
 from repro.harness.experiments import LATENCY_REPS, _configs
 from repro.harness.jobs import Job
 from repro.harness.parallel import run_jobs
 from repro.harness.runner import compare_spec
-from repro.kernels import get_kernel
+from repro.kernels import get_kernel, lower_sma
 
 #: the high-latency end of the R-F1 sweep (bank_busy = latency/2)
 LATENCIES = (64, 128, 256, 512)
@@ -113,3 +116,74 @@ def test_sim_throughput(capsys):
     # acceptance floor: the latency-dominated regime is mostly idle
     # cycles, so fast-forward + memoization should win decisively
     assert ratio >= 3.0
+
+
+# ---------------------------------------------------------------------------
+# cluster fast-forward: the widened R-F8 grid, naive vs fast-forward
+# ---------------------------------------------------------------------------
+
+#: the widened R-F8 grid (node counts 1-8 x port widths), swept at three
+#: memory latencies; bank_busy tracks latency/2 like the R-F1 sweep
+CLUSTER_NODES = (1, 2, 4, 8)
+CLUSTER_PORTS = (1, 2, 4)
+CLUSTER_LATENCIES = (16, 64, 256)
+CLUSTER_N = 96
+
+
+def _build_cluster(nodes: int, latency: int, ports: int) -> SMACluster:
+    spec = get_kernel("daxpy")
+    jobs = [spec.instantiate(CLUSTER_N, 7 + j) for j in range(nodes)]
+    lowered = []
+    base = 16
+    for kernel, _inputs in jobs:
+        low = lower_sma(kernel, base=base)
+        lowered.append(low)
+        base = low.layout.end + 16
+    mem = MemoryConfig(
+        latency=latency, bank_busy=latency // 2, num_banks=16,
+        accepts_per_cycle=ports,
+    )
+    cfg = SMAConfig(memory=replace(mem, size=max(mem.size, base + 16)))
+    cluster = SMACluster(
+        [(low.access_program, low.execute_program) for low in lowered], cfg
+    )
+    for (kernel, inputs), low in zip(jobs, lowered):
+        for decl in kernel.arrays:
+            cluster.load_array(low.layout.base(decl.name), inputs[decl.name])
+    return cluster
+
+
+def _cluster_sweep(latency: int, fast: bool) -> tuple[int, float]:
+    """Run the node x port grid at one latency; returns (simulated
+    cluster cycles, wall seconds)."""
+    total_cycles = 0
+    start = time.perf_counter()
+    for nodes in CLUSTER_NODES:
+        for ports in CLUSTER_PORTS:
+            cluster = _build_cluster(nodes, latency, ports)
+            total_cycles += cluster.run(fast_forward=fast).cycles
+    return total_cycles, time.perf_counter() - start
+
+
+@pytest.mark.benchmark(group="throughput")
+def test_cluster_sim_throughput(capsys):
+    rows = []
+    for latency in CLUSTER_LATENCIES:
+        naive_cycles, naive_secs = _cluster_sweep(latency, fast=False)
+        ff_cycles, ff_secs = _cluster_sweep(latency, fast=True)
+        # identical simulations either way
+        assert ff_cycles == naive_cycles
+        rows.append((latency, naive_cycles, naive_secs, ff_secs))
+    with capsys.disabled():
+        print()
+        print(f"R-F8 grid (nodes {CLUSTER_NODES} x ports {CLUSTER_PORTS}, "
+              f"daxpy n={CLUSTER_N}), naive vs cluster fast-forward:")
+        for latency, cycles, naive_secs, ff_secs in rows:
+            print(f"  latency {latency:3d}: {cycles:8d} cluster cycles  "
+                  f"naive {naive_secs:6.2f}s  ff {ff_secs:6.2f}s  "
+                  f"({naive_secs / ff_secs:.2f}x)")
+    # acceptance floor: in the latency-dominated regime (the high end of
+    # the sweep, latency >= 16) joint idleness dominates and the shared
+    # clock jump must win at least 2x wall-clock
+    best = max(naive_secs / ff_secs for _, _, naive_secs, ff_secs in rows)
+    assert best >= 2.0

@@ -1,0 +1,41 @@
+#!/usr/bin/env python
+"""R-F8 smoke sweep for CI: a 2-node cluster at a small problem size,
+run with metrics capture so the per-node cluster RunReports can be gated
+by ``scripts/check_runreport_schema.py``.
+
+Usage::
+
+    PYTHONPATH=src python scripts/rf8_smoke.py --out cluster-runreports
+    python scripts/check_runreport_schema.py cluster-runreports
+"""
+
+import argparse
+import sys
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--n", type=int, default=32,
+                        help="problem size per node (default 32)")
+    parser.add_argument("--nodes", type=int, default=2,
+                        help="cluster node count (default 2)")
+    parser.add_argument("--out", default="cluster-runreports",
+                        help="directory for the captured RunReports")
+    args = parser.parse_args(argv)
+
+    from repro.harness.experiments import fig8_multiprocessor
+    from repro.metrics import capture_reports
+
+    with capture_reports(args.out) as collector:
+        table = fig8_multiprocessor(n=args.n, node_counts=(args.nodes,))
+        print(table.to_text())
+        print(f"captured {len(collector.reports)} RunReport(s) "
+              f"under {args.out}")
+        if not collector.reports:
+            print("error: no RunReports captured", file=sys.stderr)
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -15,7 +15,8 @@ Commands
 
 ``experiment ID [ID ...]``
     Run reconstructed experiments by identifier (``R-T1`` .. ``R-F8``,
-    ``all``); figure experiments can add ``--plot`` for an ASCII chart,
+    ``all``; spelling is forgiving — ``rf8`` selects ``R-F8``); figure
+    experiments can add ``--plot`` for an ASCII chart,
     and ``--csv`` emits machine-readable output.  ``--jobs N`` fans the
     experiment's simulation jobs over N worker processes; ``--cache DIR``
     reuses results across invocations (keyed by kernel, config, and code
@@ -119,10 +120,23 @@ def cmd_compile(args) -> int:
     return 0
 
 
+def _normalize_experiment_id(raw: str) -> str:
+    """Map user spellings onto canonical experiment ids: ``rf8``,
+    ``r-f8`` and ``R-F8`` all select ``R-F8``."""
+    folded = raw.replace("-", "").replace("_", "").upper()
+    for experiment_id in EXPERIMENTS:
+        if experiment_id.replace("-", "").upper() == folded:
+            return experiment_id
+    return raw
+
+
 def cmd_experiment(args) -> int:
     from contextlib import nullcontext
 
-    ids = list(EXPERIMENTS) if "all" in args.ids else args.ids
+    if "all" in args.ids:
+        ids = list(EXPERIMENTS)
+    else:
+        ids = [_normalize_experiment_id(raw) for raw in args.ids]
     metrics = getattr(args, "metrics", False)
     if metrics:
         from .metrics import capture_reports

@@ -14,17 +14,39 @@ disjoint address ranges — the runner lays each kernel out in its own
 region — so no coherence protocol is needed; the contention being studied
 is bandwidth, not sharing.
 
+**Cluster cycle fast-forward.**  The latency-dominated regime that makes
+single-machine fast-forward pay off (see :mod:`repro.core.machine`) is
+*worse* in a cluster: contention stretches every memory round-trip, so a
+larger fraction of cycles are jointly idle — every node stalled on a
+pending completion.  ``run`` detects joint idleness the same way the
+machine does (two consecutive cycles in which no node retired an
+instruction, issued a request or committed a store, and no completion
+fired), then jumps the shared clock to ``banked.next_event_time`` and
+replays each still-running node's skipped-cycle statistics in closed form
+through the node's own ``stall_snapshot``/``replay_stall_cycles`` pair —
+the same replay contract ``SMAMachine._run`` honors, which never touches
+the memory model, so a non-owning node replays exactly like a standalone
+machine.  Finished nodes are frozen (naive ticking does not step them
+either), and the shared memory needs no replay of its own: a jointly-idle
+cycle issues no accesses, so bank-free times and port counters are static
+until the next completion.  Everything stays bit-identical to naive
+ticking (property-tested in ``tests/test_cluster_fast_forward.py``),
+including per-node metrics buckets — ``attach_metrics`` works in cluster
+mode because the node classifiers replay in closed form just as they do
+standalone.
+
 Used by experiment R-F8 (`bench_fig8_multiprocessor.py`).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 
 from ..config import SMAConfig
 from ..errors import SimulationError
 from ..isa import Program
 from ..memory import BankedMemory, MainMemory
+from . import machine as machine_mod
 from .machine import SMAMachine, SMAResult
 
 
@@ -37,6 +59,9 @@ class ClusterResult:
     bank_conflicts: int
     port_rejects: int
     memory_utilization: float
+    #: cycle at which each node transitioned to done (== elapsed cycles,
+    #: exact even across fast-forward jumps)
+    finish_cycles: list[int] = field(default_factory=list)
 
     def summary(self) -> str:
         lines = [f"cluster cycles      {self.cycles}"]
@@ -48,6 +73,14 @@ class ClusterResult:
         lines.append(f"bank conflicts      {self.bank_conflicts}")
         lines.append(f"memory utilization  {self.memory_utilization:.3f}")
         return "\n".join(lines)
+
+    def contention(self) -> dict:
+        """Shared-memory contention section (JSON-serializable)."""
+        return {
+            "bank_conflicts": self.bank_conflicts,
+            "port_rejects": self.port_rejects,
+            "memory_utilization": self.memory_utilization,
+        }
 
 
 class SMACluster:
@@ -79,50 +112,141 @@ class SMACluster:
     def dump_array(self, base: int, count: int):
         return self.memory.dump_array(base, count)
 
+    def attach_metrics(self):
+        """Attach a stall-attribution metrics layer to every node.
+
+        Returns the list of per-node :class:`SMAMachineMetrics`.  Each
+        node gets its own registry (counter names collide across nodes
+        otherwise); the shared memory's counters are published into every
+        node's registry, getter-based over the one shared stats object.
+        Like the single-machine case, attaching metrics keeps cluster
+        fast-forward enabled — node classifiers and samplers replay in
+        closed form.
+        """
+        return [node.attach_metrics() for node in self.nodes]
+
     def done(self) -> bool:
         return all(n.done() for n in self.nodes) and self.banked.quiescent()
+
+    def _step_all(self) -> None:
+        """Simulate one cluster cycle: memory tick, then every running
+        node, in an order that rotates with the cycle number.
+
+        A node whose ``done()`` flips during (or before) its step is
+        recorded in ``finish_cycles`` *immediately* at the current cycle.
+        (The old code deferred recording to the node's next visit, one
+        cycle late under naive ticking and a whole jump late under
+        fast-forward.)
+        """
+        now = self.cycle
+        self.banked.tick(now)
+        count = len(self.nodes)
+        # rotate service order so the memory port is shared fairly; the
+        # rotation is a pure function of the cycle number, so it is
+        # unaffected by clock jumps
+        rotation = now % count
+        for offset in range(count):
+            index = (rotation + offset) % count
+            node = self.nodes[index]
+            if node.done():
+                if self.finish_cycles[index] is None:
+                    # finished via this cycle's memory tick (the final
+                    # completion drained the last pending access)
+                    self.finish_cycles[index] = now
+                continue
+            node.cycle = now
+            node.step_cycle(tick_memory=False)
+            if self.finish_cycles[index] is None and node.done():
+                self.finish_cycles[index] = node.cycle
+        self.cycle = now + 1
+
+    def _progress_state(self) -> tuple[int, ...]:
+        """Changes iff any node made forward progress or memory moved."""
+        return tuple(
+            part for node in self.nodes for part in node.progress_state()
+        ) + (self.banked.stats.reads + self.banked.stats.writes,)
 
     def run(
         self,
         max_cycles: int = 10_000_000,
         deadlock_window: int = 10_000,
+        fast_forward: bool | None = None,
     ) -> ClusterResult:
-        """Run every node to completion under shared-memory contention."""
+        """Run every node to completion under shared-memory contention.
+
+        ``fast_forward`` overrides the process-wide default
+        (:data:`repro.core.machine.FAST_FORWARD`); cycle counts and every
+        per-node statistic are bit-identical either way.
+        """
+        if fast_forward is None:
+            fast_forward = machine_mod.FAST_FORWARD
+        banked = self.banked
         last_state: tuple = ()
         last_progress = 0
+        prev_idle = False  # previous cycle was jointly idle
         while not self.done():
             if self.cycle >= max_cycles:
                 raise SimulationError(f"exceeded cycle budget {max_cycles}")
-            self.banked.tick(self.cycle)
-            # rotate service order so the memory port is shared fairly
-            order = list(range(len(self.nodes)))
-            rotation = self.cycle % len(self.nodes)
-            order = order[rotation:] + order[:rotation]
-            for index in order:
-                node = self.nodes[index]
-                if not node.done():
-                    node.cycle = self.cycle
-                    node.step_cycle(tick_memory=False)
-                elif self.finish_cycles[index] is None:
-                    self.finish_cycles[index] = self.cycle
-            state = tuple(
-                part for node in self.nodes for part in node.progress_state()
-            ) + (self.banked.stats.reads + self.banked.stats.writes,)
+            if prev_idle and fast_forward:
+                # every node is in a steady stall: simulate one more
+                # cycle as the per-node replay template, then jump the
+                # shared clock to the next memory event
+                running = [
+                    (node, node.stall_snapshot())
+                    for node in self.nodes
+                    if not node.done()
+                ]
+                pending_before = banked.pending_completions
+                self._step_all()
+                state = self._progress_state()
+                if (
+                    state == last_state
+                    and banked.pending_completions == pending_before
+                ):
+                    # no node moved and nothing completed: every cycle
+                    # until the next memory event repeats this one
+                    # exactly, on every node
+                    horizon = min(
+                        last_progress + deadlock_window + 1, max_cycles
+                    )
+                    target = banked.next_event_time(self.cycle - 1)
+                    if target is None or target > horizon:
+                        target = horizon
+                    skipped = target - self.cycle
+                    if skipped > 0:
+                        for node, snapshot in running:
+                            node.replay_stall_cycles(snapshot, skipped)
+                        self.cycle += skipped
+                    if self.cycle - last_progress > deadlock_window:
+                        raise SimulationError(
+                            f"cluster deadlock at cycle {self.cycle}: "
+                            + self._deadlock_reports()
+                        )
+                    continue
+                # the candidate cycle made progress somewhere — fall
+                # through to the ordinary bookkeeping below
+            else:
+                self._step_all()
+            state = self._progress_state()
             if state != last_state:
                 last_state = state
                 last_progress = self.cycle
-            elif self.cycle - last_progress > deadlock_window:
-                reports = "; ".join(
-                    f"node{i}: {n.deadlock_report()}"
-                    for i, n in enumerate(self.nodes)
-                )
-                raise SimulationError(
-                    f"cluster deadlock at cycle {self.cycle}: {reports}"
-                )
-            self.cycle += 1
+                prev_idle = False
+                p_pending = banked.pending_completions
+            else:
+                if self.cycle - last_progress > deadlock_window:
+                    raise SimulationError(
+                        f"cluster deadlock at cycle {self.cycle}: "
+                        + self._deadlock_reports()
+                    )
+                # a cycle that only delivered a completion is not idle:
+                # the filled slot can unblock a node next cycle
+                pending = banked.pending_completions
+                prev_idle = pending == p_pending
+                p_pending = pending
         for index, node in enumerate(self.nodes):
             if self.finish_cycles[index] is None:
-                self.finish_cycles[index] = self.cycle
+                self.finish_cycles[index] = node.cycle
         mstats = self.banked.stats
         cycles = max(self.cycle, 1)
         return ClusterResult(
@@ -133,4 +257,14 @@ class SMACluster:
             memory_utilization=mstats.utilization(
                 cycles, self.config.memory.num_banks
             ),
+            finish_cycles=[
+                finish if finish is not None else self.cycle
+                for finish in self.finish_cycles
+            ],
+        )
+
+    def _deadlock_reports(self) -> str:
+        return "; ".join(
+            f"node{i}: {n.deadlock_report()}"
+            for i, n in enumerate(self.nodes)
         )

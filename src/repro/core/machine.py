@@ -33,7 +33,7 @@ differential property tests and the throughput benchmark).
 
 The metrics layer (:meth:`SMAMachine.attach_metrics`) is *not* an
 observer: its per-cycle stall classifier and stride samplers replay in
-closed form inside ``_replay_stall_cycles``, so attaching metrics keeps
+closed form inside ``replay_stall_cycles``, so attaching metrics keeps
 the fast path enabled and every bucket total bit-identical to naive
 ticking (property-tested in ``tests/test_metrics.py``).
 """
@@ -212,7 +212,7 @@ class SMAMachine:
 
         Unlike ``run(observer=...)`` this keeps the cycle fast-forward
         path enabled: the classifier and any stride samplers are replayed
-        in closed form by ``_replay_stall_cycles``.  ``samplers=None``
+        in closed form by ``replay_stall_cycles``.  ``samplers=None``
         installs the default load-queue-occupancy sampler; pass an empty
         tuple for none.
         """
@@ -469,8 +469,16 @@ class SMAMachine:
         return self.collect_result()
 
     # -- fast-forward statistics replay ---------------------------------
+    #
+    # The snapshot/replay pair below is the *replay contract*: any driver
+    # that steps this machine — its own ``_run`` loop, or an
+    # :class:`repro.core.cluster.SMACluster` that owns the shared memory
+    # tick — may snapshot before a candidate idle cycle and, once the
+    # cycle is confirmed fully idle, replay it ``count`` times in closed
+    # form.  Neither method touches the memory model, so a non-owning
+    # cluster node replays exactly like a standalone machine.
 
-    def _stall_snapshot(self):
+    def stall_snapshot(self):
         """Snapshot of every counter a fully-idle cycle can increment,
         taken immediately before simulating the replay-template cycle."""
         ap = self.ap.stats
@@ -489,7 +497,7 @@ class SMAMachine:
             ],
         )
 
-    def _replay_stall_cycles(self, snapshot, count: int) -> None:
+    def replay_stall_cycles(self, snapshot, count: int) -> None:
         """Advance the clock by ``count`` cycles, applying the statistic
         increments of the just-simulated idle cycle (the delta against
         ``snapshot``) in closed form.
@@ -541,3 +549,7 @@ class SMAMachine:
             # skipped cycles are self.cycle .. self.cycle + count - 1
             self._metrics.on_replay(self, self.cycle, count)
         self.cycle += count
+
+    # old private names, kept for external callers
+    _stall_snapshot = stall_snapshot
+    _replay_stall_cycles = replay_stall_cycles

@@ -656,7 +656,7 @@ def fig7_ports(
 
 def fig8_multiprocessor(
     n: int = 192,
-    node_counts: Sequence[int] = (1, 2, 4),
+    node_counts: Sequence[int] = (1, 2, 4, 8),
     ports: Sequence[int] = (1, 2, 4),
     kernel: str = "daxpy",
     jobs: int = 1, cache_dir: str | None = None,

@@ -215,20 +215,39 @@ def _run_cluster(job: Job) -> dict:
     from .runner import run_cluster
 
     spec = get_kernel(job.kernel)
-    # per-node seeds follow the R-F8 convention: node j gets seed 100+j
+    # per-node seeds derive from the job seed: node j gets seed
+    # job.seed + j, so jobs differing only in seed measure different
+    # inputs (they used to be hard-coded to 100 + j, which silently
+    # returned identical results under distinct cache keys)
     workloads = [
-        spec.instantiate(job.n, 100 + j) for j in range(job.nodes)
+        spec.instantiate(job.n, job.seed + j) for j in range(job.nodes)
     ]
-    result = run_cluster(workloads, job.sma_config, check=job.check)
+    metrics = _metrics_armed()
+    result = run_cluster(
+        workloads, job.sma_config, check=job.check, metrics=metrics
+    )
     slowdowns = result.interference_slowdowns
-    return {
+    out = {
         "cluster_cycles": result.cluster_cycles,
         "node_cycles": list(result.node_cycles),
         "standalone_cycles": list(result.standalone_cycles),
         "bank_conflicts": result.bank_conflicts,
+        "port_rejects": result.port_rejects,
         "memory_utilization": result.memory_utilization,
         "mean_slowdown": sum(slowdowns) / len(slowdowns),
     }
+    if metrics and result.reports:
+        from ..metrics.capture import active_capture
+
+        collector = active_capture()
+        for report in result.reports:
+            report.n = job.n
+            collector.add(report)
+        out["stall_breakdowns"] = [
+            dict(report.stall_breakdown) for report in result.reports
+        ]
+        out["contention"] = dict(result.contention)
+    return out
 
 
 def _run_occupancy(job: Job) -> dict:

@@ -9,7 +9,7 @@ be compared word-for-word while cycle counts are compared fairly.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 from typing import Mapping, Any
 
 import numpy as np
@@ -194,6 +194,12 @@ class ClusterKernelRun:
     bank_conflicts: int
     memory_utilization: float
     outputs: list[dict[str, np.ndarray]]
+    port_rejects: int = 0
+    #: one RunReport per node when run with metrics=True, else empty
+    reports: list = field(default_factory=list)
+    #: shared-memory contention section (bank conflicts, port rejects,
+    #: utilization, completions) when run with metrics=True, else empty
+    contention: dict = field(default_factory=dict)
 
     @property
     def interference_slowdowns(self) -> list[float]:
@@ -212,6 +218,7 @@ def run_cluster(
     config: SMAConfig | None = None,
     check: bool = True,
     max_cycles: int = 10_000_000,
+    metrics: bool = False,
 ) -> ClusterKernelRun:
     """Run several kernels concurrently on an SMA cluster sharing one
     banked memory (each kernel in its own address region), and compare
@@ -220,6 +227,13 @@ def run_cluster(
     With ``check`` (default), every node's outputs are verified word-exact
     against the reference interpreter — contention must never change
     results, only timing.
+
+    ``metrics=True`` attaches the stall-attribution layer to every node
+    (cluster fast-forward stays enabled) and fills
+    :attr:`ClusterKernelRun.reports` with one
+    :class:`repro.metrics.RunReport` per node (machine label
+    ``"sma-node<i>"``) plus :attr:`ClusterKernelRun.contention` with the
+    shared-memory section.
     """
     from ..core.cluster import SMACluster
     from ..kernels import lower_sma as _lower_sma
@@ -238,10 +252,30 @@ def run_cluster(
         [(low.access_program, low.execute_program) for low in lowered],
         cfg,
     )
+    node_metrics = cluster.attach_metrics() if metrics else None
     for (kernel, inputs), low in zip(jobs, lowered):
         for decl in kernel.arrays:
             cluster.load_array(low.layout.base(decl.name), inputs[decl.name])
-    cluster.run(max_cycles=max_cycles)
+    cluster_result = cluster.run(max_cycles=max_cycles)
+    reports: list = []
+    contention: dict = {}
+    if node_metrics is not None:
+        from ..metrics import sma_report
+
+        reports = [
+            sma_report(
+                node, node_metric,
+                kernel=kernel.name,
+                machine_name=f"sma-node{i}",
+            )
+            for i, (node, node_metric, (kernel, _inputs)) in enumerate(
+                zip(cluster.nodes, node_metrics, jobs)
+            )
+        ]
+        contention = dict(
+            cluster_result.contention(),
+            completions=cluster.banked.stats.completions,
+        )
     outputs = []
     for (kernel, inputs), low in zip(jobs, lowered):
         outputs.append({
@@ -264,13 +298,16 @@ def run_cluster(
     ]
     return ClusterKernelRun(
         cluster_cycles=cluster.cycle,
-        node_cycles=[int(c) for c in cluster.finish_cycles],
+        node_cycles=[int(c) for c in cluster_result.finish_cycles],
         standalone_cycles=standalone,
         bank_conflicts=cluster.banked.stats.bank_conflicts,
         memory_utilization=cluster.banked.stats.utilization(
             max(cluster.cycle, 1), cfg.memory.num_banks
         ),
         outputs=outputs,
+        port_rejects=cluster.banked.stats.port_rejects,
+        reports=reports,
+        contention=contention,
     )
 
 

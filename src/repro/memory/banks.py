@@ -35,6 +35,8 @@ class MemoryStats:
     bank_conflicts: int = 0
     port_rejects: int = 0
     busy_bank_cycles: int = 0
+    #: completion callbacks fired (loads delivered / stores acknowledged)
+    completions: int = 0
     per_bank_accesses: list[int] = field(default_factory=list)
 
     def utilization(self, elapsed_cycles: int, num_banks: int) -> float:
@@ -132,6 +134,7 @@ class BankedMemory:
         cycle, before the processors step)."""
         while self._completions and self._completions[0][0] <= now:
             _, _, callback, result = heapq.heappop(self._completions)
+            self.stats.completions += 1
             callback(result)
 
     def quiescent(self) -> bool:

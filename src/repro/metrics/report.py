@@ -128,11 +128,16 @@ def validate_report(data: dict) -> list[str]:
 
 
 def sma_report(machine, metrics, kernel: str = "",
-               n: int | None = None) -> RunReport:
-    """Build a RunReport from a finished SMA run with metrics attached."""
+               n: int | None = None, machine_name: str = "sma") -> RunReport:
+    """Build a RunReport from a finished SMA run with metrics attached.
+
+    ``machine_name`` labels the report's ``machine`` field — cluster
+    nodes use ``"sma-node0"``, ``"sma-node1"``, … so per-node reports
+    from one run stay distinguishable.
+    """
     registry = metrics.registry
     return RunReport(
-        machine="sma",
+        machine=machine_name,
         kernel=kernel,
         n=n,
         cycles=machine.cycle,

@@ -48,6 +48,11 @@ class TimelineRecorder:
         # snapshot at the end of the previous cycle; a fresh machine
         # always begins at (pc=0, zero counters), so cycle 0 is recorded
         self._prev = (0, 0, 0, 0, 0, 0)
+        # per-cause stall counters at the end of the previous cycle: the
+        # cause whose counter incremented *this* cycle is this cycle's
+        # stall, independent of any cumulative totals
+        self._prev_ap_stalls: dict[str, int] = {}
+        self._prev_ep_stalls: dict[str, int] = {}
 
     def __call__(self, machine, cycle: int) -> None:
         ap, ep = machine.ap, machine.ep
@@ -65,32 +70,42 @@ class TimelineRecorder:
             self.records.append(CycleRecord(
                 cycle=cycle,
                 ap_event=self._event(
-                    ap, prev_ap_pc, current[1] - prev_ap_n
+                    ap, prev_ap_pc, current[1] - prev_ap_n,
+                    self._stall_delta(ap.stats.stall_cycles,
+                                      self._prev_ap_stalls),
                 ),
                 ep_event=self._event(
-                    ep, prev_ep_pc, current[3] - prev_ep_n
+                    ep, prev_ep_pc, current[3] - prev_ep_n,
+                    self._stall_delta(ep.stats.stall_cycles,
+                                      self._prev_ep_stalls),
                 ),
                 engine_issues=current[4] - prev_req,
                 store_issued=current[5] > prev_stores,
             ))
         self._prev = current
+        self._prev_ap_stalls = dict(ap.stats.stall_cycles)
+        self._prev_ep_stalls = dict(ep.stats.stall_cycles)
 
     @staticmethod
-    def _event(processor, fetched_pc: int, retired: int) -> str:
+    def _stall_delta(stalls: dict[str, int], prev: dict[str, int]) -> str | None:
+        """The cause whose counter incremented this cycle (a processor
+        records at most one stall cause per cycle), or None."""
+        for cause, value in stalls.items():
+            if value > prev.get(cause, 0):
+                return cause
+        return None
+
+    @staticmethod
+    def _event(processor, fetched_pc: int, retired: int,
+               cause: str | None) -> str:
         if retired:
             if fetched_pc < len(processor.program):
                 return str(processor.program[fetched_pc])
             return "?"
         if processor.halted:
             return "#"
-        cause = getattr(processor, "_stalled_on", None)
         if cause:
             return f"~{cause}"
-        # EP does not track a named stall cause between cycles; derive the
-        # dominant recorded cause so far for display purposes
-        stalls = processor.stats.stall_cycles
-        if stalls:
-            return "~" + max(stalls, key=stalls.get)
         return "~"
 
     # -- rendering -------------------------------------------------------

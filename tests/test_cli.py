@@ -74,6 +74,20 @@ class TestCLI:
     def test_experiment_unknown(self, capsys):
         assert main(["experiment", "R-T99"]) == 2
 
+    def test_experiment_id_spelling_normalized(self, capsys, monkeypatch):
+        """rf8 / r-f8 / R-F8 all select the same experiment."""
+        from repro.harness import experiments as exp
+        monkeypatch.setitem(
+            exp.EXPERIMENTS, "R-F8",
+            lambda: exp.fig8_multiprocessor(
+                n=16, node_counts=(1,), ports=(1,)
+            ),
+        )
+        for spelling in ("rf8", "r-f8", "R-F8", "r_f8"):
+            assert main(["experiment", spelling]) == 0
+            out = capsys.readouterr().out
+            assert "R-F8" in out
+
     def test_parse(self, tmp_path, capsys):
         source = """
 kernel scale(x[n], y[n]):
