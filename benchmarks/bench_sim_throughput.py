@@ -19,24 +19,36 @@ waiting on memory — two ways:
 
 Both produce the same per-point speedup numbers and the same simulated
 cycle counts — asserted below — so the wall-clock ratio is a pure
-simulator-engineering win.  Run with::
+simulator-engineering win.
+
+A second section races the three machine schedulers (``naive`` /
+``joint-idle`` / ``event-horizon``) head-to-head on the *low*-latency end
+of the sweep — where joint idleness is rare and the event-horizon
+scheduler's per-component contracts and decode-cached step paths have to
+carry the win — and records cycles/second per scheduler in
+``BENCH_sim_throughput.json`` (uploaded by CI, gated by
+``scripts/check_bench_floor.py``).  Run with::
 
     PYTHONPATH=src python -m pytest benchmarks/bench_sim_throughput.py -s
+    PYTHONPATH=src python benchmarks/bench_sim_throughput.py --smoke
 """
 
+import json
 import os
 import time
 from dataclasses import replace
+from pathlib import Path
 
 import pytest
 
 from repro.config import MemoryConfig, SMAConfig
+from repro.core import SMAMachine
 from repro.core import machine as machine_mod
 from repro.core.cluster import SMACluster
 from repro.harness.experiments import LATENCY_REPS, _configs
 from repro.harness.jobs import Job
 from repro.harness.parallel import run_jobs
-from repro.harness.runner import compare_spec
+from repro.harness.runner import _fit_memory, _load_inputs, compare_spec
 from repro.kernels import get_kernel, lower_sma
 
 #: the high-latency end of the R-F1 sweep (bank_busy = latency/2)
@@ -119,6 +131,178 @@ def test_sim_throughput(capsys):
 
 
 # ---------------------------------------------------------------------------
+# scheduler shoot-out: naive vs joint-idle vs event-horizon on one machine
+# ---------------------------------------------------------------------------
+
+#: the low-latency end of the R-F1 sweep — the regime where whole-machine
+#: idleness is rare and the joint-idle fast-forward has little to jump
+#: over, so any win must come from per-component horizons and the cheaper
+#: decode-cached step paths
+SCHEDULER_LATENCIES = (8, 16, 32)
+
+#: where the scheduler comparison (and ``main --smoke``) records results
+BENCH_JSON = Path(__file__).resolve().parent.parent / \
+    "BENCH_sim_throughput.json"
+
+#: acceptance floors: event-horizon must beat the PR-3 fast-forward
+#: (joint-idle) 3x on the full sweep; the CI smoke gate
+#: (scripts/check_bench_floor.py) asserts a laxer 2x against naive to
+#: stay robust on noisy shared runners
+EVENT_HORIZON_FLOOR = 3.0
+SMOKE_FLOOR = 2.0
+
+
+def _build_sma(name: str, latency: int, n: int) -> SMAMachine:
+    kernel, inputs = get_kernel(name).instantiate(n)
+    lowered = lower_sma(kernel)
+    sma_cfg, _ = _configs(latency=latency)
+    cfg = SMAConfig(
+        memory=_fit_memory(sma_cfg.memory, lowered.layout),
+        queues=sma_cfg.queues,
+    )
+    machine = SMAMachine(
+        lowered.access_program, lowered.execute_program, cfg
+    )
+    _load_inputs(machine, lowered.layout, kernel, inputs)
+    return machine
+
+
+def _scheduler_sweep(scheduler, latencies, n, kernels, repeats):
+    """Time the sweep under one scheduler; construction is excluded and
+    the wall-clock is the best of ``repeats`` runs (machines are
+    single-use, so each repeat rebuilds its own set).
+
+    Returns (per-run result digests, total simulated cycles, seconds).
+    """
+    best = None
+    digests = []
+    total_cycles = 0
+    for _ in range(repeats):
+        machines = [
+            _build_sma(name, latency, n)
+            for latency in latencies for name in kernels
+        ]
+        start = time.perf_counter()
+        results = [m.run(scheduler=scheduler) for m in machines]
+        elapsed = time.perf_counter() - start
+        if best is None or elapsed < best:
+            best = elapsed
+        digests = [r.to_dict() for r in results]
+        total_cycles = sum(r.cycles for r in results)
+    return digests, total_cycles, best
+
+
+def run_scheduler_comparison(latencies=SCHEDULER_LATENCIES, n=N,
+                             kernels=KERNELS, repeats=2) -> dict:
+    """Run the sweep under every scheduler and package the numbers for
+    ``BENCH_sim_throughput.json``.  Asserts all schedulers simulate the
+    identical machine (same cycles, same full result digest)."""
+    schedulers = {}
+    reference_digests = None
+    for scheduler in SMAMachine.SCHEDULERS:
+        digests, cycles, secs = _scheduler_sweep(
+            scheduler, latencies, n, kernels, repeats
+        )
+        if reference_digests is None:
+            reference_digests = digests
+        else:
+            assert digests == reference_digests, (
+                f"{scheduler} disagrees with {SMAMachine.SCHEDULERS[0]}"
+            )
+        schedulers[scheduler] = {
+            "cycles": cycles,
+            "seconds": round(secs, 6),
+            "cycles_per_sec": round(cycles / secs, 1),
+        }
+    naive = schedulers["naive"]["seconds"]
+    joint = schedulers["joint-idle"]["seconds"]
+    horizon = schedulers["event-horizon"]["seconds"]
+    return {
+        "benchmark": "bench_sim_throughput/scheduler_comparison",
+        "sweep": {
+            "latencies": list(latencies),
+            "n": n,
+            "kernels": list(kernels),
+            "repeats": repeats,
+        },
+        "schedulers": schedulers,
+        "ratios": {
+            "event_horizon_vs_naive": round(naive / horizon, 2),
+            "event_horizon_vs_joint_idle": round(joint / horizon, 2),
+        },
+        "floors": {
+            "event_horizon_vs_joint_idle": EVENT_HORIZON_FLOOR,
+            "smoke_event_horizon_vs_naive": SMOKE_FLOOR,
+        },
+    }
+
+
+def write_bench_json(data: dict, path: Path = BENCH_JSON) -> None:
+    path.write_text(json.dumps(data, indent=2) + "\n")
+
+
+def _print_comparison(data: dict) -> None:
+    sweep = data["sweep"]
+    print(f"R-F1 scheduler comparison (latencies "
+          f"{tuple(sweep['latencies'])}, n={sweep['n']}, best of "
+          f"{sweep['repeats']}): "
+          f"{data['schedulers']['naive']['cycles']} simulated cycles")
+    for scheduler, row in data["schedulers"].items():
+        print(f"  {scheduler:<14}: {row['cycles_per_sec']:12.0f} cycles/s "
+              f"({row['seconds']:.3f}s)")
+    ratios = data["ratios"]
+    print(f"  event-horizon vs naive      : "
+          f"{ratios['event_horizon_vs_naive']:.2f}x")
+    print(f"  event-horizon vs joint-idle : "
+          f"{ratios['event_horizon_vs_joint_idle']:.2f}x")
+
+
+@pytest.mark.benchmark(group="throughput")
+def test_scheduler_throughput(capsys):
+    data = run_scheduler_comparison()
+    write_bench_json(data)
+    with capsys.disabled():
+        print()
+        _print_comparison(data)
+        print(f"  (recorded in {BENCH_JSON.name})")
+    # acceptance floor (tentpole): per-component horizons + decode-cached
+    # hot loop must beat the PR-3 joint-idle fast-forward 3x even in the
+    # low-latency regime it was weakest in
+    assert data["ratios"]["event_horizon_vs_joint_idle"] >= \
+        EVENT_HORIZON_FLOOR
+
+
+def main(argv=None) -> int:
+    """CLI entry point: run the scheduler comparison and write
+    ``BENCH_sim_throughput.json`` (what CI uploads as an artifact).
+
+    ``--smoke`` shrinks the sweep for constrained CI runners; the floor
+    for the smoke numbers is enforced separately by
+    ``scripts/check_bench_floor.py``.
+    """
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="simulator scheduler throughput benchmark"
+    )
+    parser.add_argument("--smoke", action="store_true",
+                        help="small sweep for CI (n=96, two latencies)")
+    parser.add_argument("--out", default=str(BENCH_JSON),
+                        help="output JSON path")
+    args = parser.parse_args(argv)
+    if args.smoke:
+        data = run_scheduler_comparison(
+            latencies=(8, 32), n=96, repeats=3
+        )
+    else:
+        data = run_scheduler_comparison(repeats=3)
+    write_bench_json(data, Path(args.out))
+    _print_comparison(data)
+    print(f"wrote {args.out}")
+    return 0
+
+
+# ---------------------------------------------------------------------------
 # cluster fast-forward: the widened R-F8 grid, naive vs fast-forward
 # ---------------------------------------------------------------------------
 
@@ -187,3 +371,7 @@ def test_cluster_sim_throughput(capsys):
     # clock jump must win at least 2x wall-clock
     best = max(naive_secs / ff_secs for _, _, naive_secs, ff_secs in rows)
     assert best >= 2.0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

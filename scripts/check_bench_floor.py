@@ -1,0 +1,94 @@
+#!/usr/bin/env python
+"""Throughput-regression gate for the simulator benchmark (CI).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_sim_throughput.py --smoke
+    python scripts/check_bench_floor.py [BENCH_JSON]
+
+Reads ``BENCH_sim_throughput.json`` (default: repo root) as written by
+``benchmarks/bench_sim_throughput.py`` and fails when the event-horizon
+scheduler's measured throughput falls below its floor against naive
+ticking on the smoke sweep.  The floor lives in the JSON itself
+(``floors.smoke_event_horizon_vs_naive``, 2x by default — deliberately
+laxer than the 3x benchmark assertion so shared CI runners don't flake)
+so benchmark and gate can never disagree about the contract.
+
+Exit status is non-zero on a miss, a malformed file, or implausible
+numbers (schedulers disagreeing on simulated cycles), so the workflow
+fails loudly instead of uploading a regressed artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+DEFAULT_JSON = REPO / "BENCH_sim_throughput.json"
+
+REQUIRED_SCHEDULERS = ("naive", "joint-idle", "event-horizon")
+
+
+def check(path: Path) -> list[str]:
+    problems: list[str] = []
+    try:
+        data = json.loads(path.read_text())
+    except FileNotFoundError:
+        return [f"{path} not found; run "
+                "'PYTHONPATH=src python benchmarks/bench_sim_throughput.py"
+                " --smoke' first"]
+    except json.JSONDecodeError as exc:
+        return [f"{path} is not valid JSON: {exc}"]
+
+    schedulers = data.get("schedulers", {})
+    for name in REQUIRED_SCHEDULERS:
+        row = schedulers.get(name)
+        if not row:
+            problems.append(f"missing scheduler entry {name!r}")
+            continue
+        for field in ("cycles", "seconds", "cycles_per_sec"):
+            if not isinstance(row.get(field), (int, float)) \
+                    or row[field] <= 0:
+                problems.append(f"{name}.{field} missing or non-positive")
+    if problems:
+        return problems
+
+    cycle_counts = {schedulers[n]["cycles"] for n in REQUIRED_SCHEDULERS}
+    if len(cycle_counts) != 1:
+        problems.append(
+            "schedulers disagree on simulated cycles: "
+            + ", ".join(f"{n}={schedulers[n]['cycles']}"
+                        for n in REQUIRED_SCHEDULERS)
+        )
+
+    floor = data.get("floors", {}).get("smoke_event_horizon_vs_naive")
+    if not isinstance(floor, (int, float)) or floor <= 0:
+        problems.append("floors.smoke_event_horizon_vs_naive missing")
+        return problems
+
+    ratio = (schedulers["naive"]["seconds"]
+             / schedulers["event-horizon"]["seconds"])
+    print(f"event-horizon vs naive: {ratio:.2f}x (floor {floor}x) on "
+          f"sweep {data.get('sweep')}")
+    if ratio < floor:
+        problems.append(
+            f"event-horizon throughput floor missed: {ratio:.2f}x < "
+            f"{floor}x vs naive ticking"
+        )
+    return problems
+
+
+def main(argv: list[str]) -> int:
+    path = Path(argv[1]) if len(argv) > 1 else DEFAULT_JSON
+    problems = check(path)
+    for problem in problems:
+        print(f"FAIL: {problem}", file=sys.stderr)
+    if not problems:
+        print("bench floor OK")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

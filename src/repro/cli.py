@@ -34,6 +34,13 @@ Commands
     Per-cycle pipeline view of a kernel on the SMA (the decoupling made
     visible; see ``repro.trace.timeline``).
 
+``profile KERNEL``
+    cProfile one kernel's SMA simulation and attribute exclusive time to
+    simulator components (access processor, stream engine, memory, ...);
+    ``--scheduler`` picks the simulation loop (naive / joint-idle /
+    event-horizon) so loop costs can be compared, ``--top K`` adds the K
+    hottest individual functions.
+
 ``verify KERNEL``
     Check a kernel's per-address write sequences on each machine against
     sequential semantics (the strongest correctness check; see
@@ -238,6 +245,99 @@ def cmd_timeline(args) -> int:
     return 0
 
 
+#: component attribution for ``repro profile``: simulator source file ->
+#: human-readable component name (anything else lands in "other")
+_PROFILE_COMPONENTS = {
+    "access_processor.py": "access processor",
+    "execute_processor.py": "execute processor",
+    "descriptors.py": "stream engine",
+    "store_unit.py": "store unit",
+    "banks.py": "banked memory",
+    "main_memory.py": "main memory",
+    "operand_queue.py": "operand queues",
+    "queue_file.py": "operand queues",
+    "machine.py": "scheduler core",
+    "classify.py": "metrics",
+    "report.py": "metrics",
+    "samplers.py": "metrics",
+}
+
+
+def profile_attribution(stats) -> dict[str, float]:
+    """Fold a :class:`pstats.Stats` table into per-component exclusive
+    time (seconds), keyed by the names in ``_PROFILE_COMPONENTS``."""
+    import os
+
+    totals: dict[str, float] = {}
+    for (filename, _lineno, _name), entry in stats.stats.items():
+        tottime = entry[2]
+        component = _PROFILE_COMPONENTS.get(
+            os.path.basename(filename), "other"
+        )
+        totals[component] = totals.get(component, 0.0) + tottime
+    return totals
+
+
+def cmd_profile(args) -> int:
+    import cProfile
+    import os
+    import pstats
+    import time
+    from dataclasses import replace as _replace
+
+    from .core import SMAMachine
+    from .harness.runner import _fit_memory, _load_inputs
+
+    spec = get_kernel(args.kernel)
+    kernel, inputs = spec.instantiate(args.n)
+    lowered = lower_sma(kernel)
+    sma_cfg, _ = _configs(args.latency)
+    cfg = _replace(sma_cfg, memory=_fit_memory(sma_cfg.memory,
+                                               lowered.layout))
+    machine = SMAMachine(lowered.access_program, lowered.execute_program,
+                         cfg)
+    _load_inputs(machine, lowered.layout, kernel, inputs)
+
+    profiler = cProfile.Profile()
+    start = time.perf_counter()
+    profiler.enable()
+    result = machine.run(scheduler=args.scheduler)
+    profiler.disable()
+    wall = time.perf_counter() - start
+
+    rate = result.cycles / wall if wall > 0 else float("inf")
+    print(f"== profile · {spec.name} (n={args.n}, "
+          f"latency={args.latency}, scheduler={args.scheduler}) ==")
+    print(f"cycles {result.cycles}   wall {wall:.3f}s   "
+          f"{rate / 1e6:.2f} Mcycles/s\n")
+
+    stats = pstats.Stats(profiler)
+    totals = profile_attribution(stats)
+    grand = sum(totals.values()) or 1.0
+    print(f"{'component':<20} {'tottime':>9} {'share':>7}")
+    for component, tottime in sorted(
+        totals.items(), key=lambda item: item[1], reverse=True
+    ):
+        print(f"{component:<20} {tottime:>8.4f}s "
+              f"{100.0 * tottime / grand:>6.1f}%")
+
+    if args.top:
+        print(f"\nhottest {args.top} function(s) by exclusive time:")
+        stats.sort_stats("tottime")
+        width = len(str(args.top))
+        shown = 0
+        for key in stats.fcn_list:
+            filename, lineno, name = key
+            tottime = stats.stats[key][2]
+            location = f"{os.path.basename(filename)}:{lineno}"
+            print(f"  {shown + 1:>{width}}. {tottime:>8.4f}s  "
+                  f"{name}  ({location})")
+            shown += 1
+            if shown >= args.top:
+                break
+    return 0
+
+
 def cmd_verify(args) -> int:
     from .verify import verify_kernel_writes
 
@@ -288,6 +388,8 @@ def cmd_parse(args) -> int:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    from .core import SMAMachine
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Structured Memory Access architecture reproduction",
@@ -348,6 +450,21 @@ def build_parser() -> argparse.ArgumentParser:
     p_timeline.add_argument("--first", type=int, default=0)
     p_timeline.add_argument("--last", type=int, default=40)
 
+    p_profile = sub.add_parser(
+        "profile",
+        help="cProfile one kernel's simulation and attribute exclusive "
+             "time to simulator components",
+    )
+    p_profile.add_argument("kernel")
+    p_profile.add_argument("--n", type=int, default=256)
+    p_profile.add_argument("--latency", type=int, default=8)
+    p_profile.add_argument("--scheduler", default="event-horizon",
+                           choices=list(SMAMachine.SCHEDULERS),
+                           help="simulation loop to profile "
+                                "(default: event-horizon)")
+    p_profile.add_argument("--top", type=int, default=0, metavar="K",
+                           help="also list the K hottest functions")
+
     p_verify = sub.add_parser(
         "verify",
         help="check a kernel's per-address write sequences against "
@@ -375,6 +492,7 @@ _COMMANDS = {
     "experiment": cmd_experiment,
     "report": cmd_report,
     "timeline": cmd_timeline,
+    "profile": cmd_profile,
     "verify": cmd_verify,
     "parse": cmd_parse,
 }

@@ -53,8 +53,23 @@ class APStats:
         )
 
 
+# decoded-instruction kinds (first element of each decode tuple); plain
+# ints so the fast step dispatches on integer compares, not enum hashing
+(_A_ALU, _A_LDQ, _A_DECBNZ, _A_FROMQ, _A_STADDR, _A_BQ, _A_BR, _A_STREAM,
+ _A_JMP, _A_HALT, _A_NOP) = range(11)
+
+# decoded-operand tags: register index / immediate value / invalid
+_O_REG, _O_IMM, _O_BAD = range(3)
+
+
 class AccessProcessor:
     """In-order interpreter of the access instruction stream."""
+
+    __slots__ = (
+        "program", "queues", "memory", "engine", "registers", "pc",
+        "halted", "stats", "_stalled_on", "_decoded", "_saq", "_ebq",
+        "_bank_free", "_nbanks", "_accepts", "_prog", "_plen",
+    )
 
     def __init__(
         self,
@@ -77,6 +92,100 @@ class AccessProcessor:
                 raise SimulationError(
                     f"{instr.op.value} is not a valid access-processor op"
                 )
+        # decode cache + memory-model constants for step_fast; the
+        # bank-free list and the config values are stable for the
+        # machine's lifetime (BankedMemory mutates the list in place)
+        self._decoded = [self._decode(pc) for pc in range(len(program))]
+        # bounds-check cache for step_fast; valid only while self.program
+        # is still the construction-time object (identity-checked there)
+        self._prog = program
+        self._plen = len(program)
+        self._saq = queues.store_addr
+        self._ebq = queues.ep_to_ap_branch
+        self._bank_free = memory._bank_free_at
+        self._nbanks = memory.config.num_banks
+        self._accepts = memory.config.accepts_per_cycle
+
+    # -- decode cache (step_fast) ----------------------------------------
+
+    def _decode(self, pc: int):
+        """Decode one instruction into a kind-tagged tuple for
+        :meth:`step_fast`.  Operands the reference :meth:`step` would
+        reject at execution time are tagged ``_O_BAD`` so the fast path
+        raises the identical error at the identical cycle."""
+        instr = self.program[pc]
+        op = instr.op
+        if op in ALU_OPS:
+            dest = instr.dest
+            return (
+                _A_ALU,
+                ALU_FUNCS[op],
+                tuple(self._decode_operand(s) for s in instr.srcs),
+                dest.index if isinstance(dest, Reg) else None,
+            )
+        if op is Op.HALT:
+            return (_A_HALT,)
+        if op is Op.NOP:
+            return (_A_NOP,)
+        if op is Op.JMP:
+            return (_A_JMP, instr.branch_target())
+        if op in (Op.BEQZ, Op.BNEZ):
+            return (
+                _A_BR,
+                self._decode_operand(instr.srcs[0]),
+                op is Op.BEQZ,
+                instr.branch_target(),
+            )
+        if op is Op.DECBNZ:
+            assert isinstance(instr.dest, Reg)
+            return (_A_DECBNZ, instr.dest.index, instr.branch_target())
+        if op in (Op.STREAMLD, Op.GATHER, Op.STREAMST, Op.SCATTER):
+            return (_A_STREAM, instr)
+        if op is Op.LDQ:
+            dest = instr.dest
+            assert isinstance(dest, Queue)
+            return (
+                _A_LDQ,
+                self.queues.resolve(dest),
+                self._decode_operand(instr.srcs[0]),
+                self._decode_operand(instr.srcs[1]),
+            )
+        if op is Op.STADDR:
+            data_q = instr.srcs[0]
+            assert isinstance(data_q, Queue) and \
+                data_q.space is QueueSpace.SDQ
+            return (
+                _A_STADDR,
+                data_q.index,
+                self._decode_operand(instr.srcs[1]),
+                self._decode_operand(instr.srcs[2]),
+            )
+        if op is Op.FROMQ:
+            src = instr.srcs[0]
+            assert isinstance(src, Queue)
+            if src.space is QueueSpace.EAQ:
+                cause = "lod_eaq"
+            elif src.space is QueueSpace.EBQ:
+                cause = "lod_ebq"
+            else:
+                cause = "iq_empty"
+            dest = instr.dest
+            return (
+                _A_FROMQ,
+                self.queues.resolve(src),
+                cause,
+                dest.index if isinstance(dest, Reg) else None,
+            )
+        assert op in (Op.BQNZ, Op.BQEZ)  # exhaustive over ACCESS_OPS
+        return (_A_BQ, op is Op.BQNZ, instr.branch_target())
+
+    @staticmethod
+    def _decode_operand(operand):
+        if isinstance(operand, Reg):
+            return (_O_REG, operand.index)
+        if isinstance(operand, Imm):
+            return (_O_IMM, operand.value)
+        return (_O_BAD, operand)
 
     # ------------------------------------------------------------------
 
@@ -153,6 +262,235 @@ class AccessProcessor:
         else:  # pragma: no cover - exhaustive over ACCESS_OPS
             raise SimulationError(f"unhandled AP op {op}")
         self._retire()
+
+    def step_fast(self, now: int) -> None:
+        """Decode-cached twin of :meth:`step` for the event-horizon
+        scheduler's hot loop.  Must stay behaviorally identical to
+        ``step`` (same stall causes and LOD episode counting, same stats,
+        same errors at the same cycle); the Hypothesis equivalence suite
+        in ``tests/test_event_horizon.py`` holds the two together."""
+        if self.halted:
+            return
+        pc = self.pc
+        # bounds-check against the live program (not just the decode
+        # cache) so a program swapped after construction still faults
+        # identically; the identity test keeps the common case to one
+        # cached-length compare
+        if pc >= self._plen or self.program is not self._prog:
+            if pc >= len(self.program):
+                raise SimulationError(
+                    f"AP ran off the end of program {self.program.name!r}"
+                )
+        decoded = self._decoded
+        entry = decoded[pc]
+        kind = entry[0]
+        stats = self.stats
+        registers = self.registers
+        if kind == _A_ALU:
+            args = []
+            for tag, payload in entry[2]:
+                if tag == _O_REG:
+                    args.append(registers[payload])
+                elif tag == _O_IMM:
+                    args.append(payload)
+                else:
+                    raise SimulationError(
+                        f"AP operand {payload} must be a register or "
+                        "immediate here"
+                    )
+            registers[entry[3]] = entry[1](*args)
+            stats.instructions += 1
+            self._stalled_on = None
+            self.pc = pc + 1
+            return
+        if kind == _A_LDQ:
+            tag, payload = entry[2]
+            if tag == _O_REG:
+                a = registers[payload]
+            elif tag == _O_IMM:
+                a = payload
+            else:
+                raise SimulationError(
+                    f"AP operand {payload} must be a register or "
+                    "immediate here"
+                )
+            tag, payload = entry[3]
+            if tag == _O_REG:
+                b = registers[payload]
+            elif tag == _O_IMM:
+                b = payload
+            else:
+                raise SimulationError(
+                    f"AP operand {payload} must be a register or "
+                    "immediate here"
+                )
+            addr = as_address(a + b)
+            target = entry[1]
+            if len(target._slots) >= target.capacity:
+                target.stats.full_stalls += 1
+                st = stats.stall_cycles
+                st["queue_full"] = st.get("queue_full", 0) + 1
+                self._stalled_on = "queue_full"
+                return
+            memory = self.memory
+            cyc, cnt = memory._issues_at
+            if (cyc == now and cnt >= self._accepts) or \
+                    self._bank_free[addr % self._nbanks] > now:
+                st = stats.stall_cycles
+                st["memory_busy"] = st.get("memory_busy", 0) + 1
+                self._stalled_on = "memory_busy"
+                return
+            token = target.reserve()
+            accepted = memory.try_issue(
+                addr, now,
+                on_complete=lambda v, t=token, q=target: q.fill(t, v),
+            )
+            assert accepted
+            stats.instructions += 1
+            self._stalled_on = None
+            self.pc = pc + 1
+            return
+        if kind == _A_DECBNZ:
+            index = entry[1]
+            registers[index] -= 1
+            stats.instructions += 1
+            self._stalled_on = None
+            self.pc = entry[2] if registers[index] != 0 else pc + 1
+            return
+        if kind == _A_FROMQ:
+            queue = entry[1]
+            slots = queue._slots
+            if not slots or not slots[0].filled:
+                queue.stats.empty_stalls += 1
+                cause = entry[2]
+                st = stats.stall_cycles
+                st[cause] = st.get(cause, 0) + 1
+                if cause != "iq_empty" and self._stalled_on != cause:
+                    stats.lod_events += 1
+                self._stalled_on = cause
+                return
+            registers[entry[3]] = queue.pop()
+            stats.instructions += 1
+            self._stalled_on = None
+            self.pc = pc + 1
+            return
+        if kind == _A_STADDR:
+            saq = self._saq
+            if len(saq._slots) >= saq.capacity:
+                saq.stats.full_stalls += 1
+                st = stats.stall_cycles
+                st["saq_full"] = st.get("saq_full", 0) + 1
+                self._stalled_on = "saq_full"
+                return
+            tag, payload = entry[2]
+            if tag == _O_REG:
+                a = registers[payload]
+            elif tag == _O_IMM:
+                a = payload
+            else:
+                raise SimulationError(
+                    f"AP operand {payload} must be a register or "
+                    "immediate here"
+                )
+            tag, payload = entry[3]
+            if tag == _O_REG:
+                b = registers[payload]
+            elif tag == _O_IMM:
+                b = payload
+            else:
+                raise SimulationError(
+                    f"AP operand {payload} must be a register or "
+                    "immediate here"
+                )
+            saq.push((as_address(a + b), entry[1]))
+            stats.instructions += 1
+            self._stalled_on = None
+            self.pc = pc + 1
+            return
+        if kind == _A_BQ:
+            ebq = self._ebq
+            slots = ebq._slots
+            if not slots or not slots[0].filled:
+                ebq.stats.empty_stalls += 1
+                st = stats.stall_cycles
+                st["lod_ebq"] = st.get("lod_ebq", 0) + 1
+                if self._stalled_on != "lod_ebq":
+                    stats.lod_events += 1
+                self._stalled_on = "lod_ebq"
+                return
+            value = ebq.pop()
+            taken = (value != 0) == entry[1]
+            stats.instructions += 1
+            self._stalled_on = None
+            self.pc = entry[2] if taken else pc + 1
+            return
+        if kind == _A_BR:
+            tag, payload = entry[1]
+            if tag == _O_REG:
+                value = registers[payload]
+            elif tag == _O_IMM:
+                value = payload
+            else:
+                raise SimulationError(
+                    f"AP operand {payload} must be a register or "
+                    "immediate here"
+                )
+            taken = (value == 0) == entry[2]
+            stats.instructions += 1
+            self._stalled_on = None
+            self.pc = entry[3] if taken else pc + 1
+            return
+        if kind == _A_STREAM:
+            if not self._start_stream(entry[1]):
+                return
+            stats.instructions += 1
+            self._stalled_on = None
+            self.pc = pc + 1
+            return
+        if kind == _A_JMP:
+            stats.instructions += 1
+            self._stalled_on = None
+            self.pc = entry[1]
+            return
+        if kind == _A_HALT:
+            self.halted = True
+            stats.instructions += 1
+            self._stalled_on = None
+            self.pc = pc + 1
+            return
+        # _A_NOP
+        stats.instructions += 1
+        self._stalled_on = None
+        self.pc = pc + 1
+
+    def next_event_time(self, now: int) -> int | None:
+        """Event-horizon contract: earliest cycle the AP can act with
+        every other component frozen.
+
+        Unstalled and not halted: ``now``.  Stalled on ``memory_busy``:
+        the target bank's free time — the one stall that time alone
+        resolves (the stalled ``ldq``'s address is recomputable because
+        pc and registers are frozen while stalled; the per-cycle port
+        limit is ignored, which is conservative).  Every other stall
+        cause waits on another component, hence ``None``.
+        """
+        if self.halted:
+            return None
+        cause = self._stalled_on
+        if cause is None:
+            return now
+        if cause != "memory_busy":
+            return None
+        entry = self._decoded[self.pc]
+        if entry[0] != _A_LDQ:  # pragma: no cover - memory_busy => ldq
+            return now
+        registers = self.registers
+        tag, payload = entry[2]
+        a = registers[payload] if tag == _O_REG else payload
+        tag, payload = entry[3]
+        b = registers[payload] if tag == _O_REG else payload
+        t = self._bank_free[as_address(a + b) % self._nbanks]
+        return t if t > now else now
 
     def _retire(self, new_pc: int | None = None) -> None:
         self.stats.instructions += 1

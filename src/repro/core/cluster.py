@@ -166,20 +166,123 @@ class SMACluster:
             part for node in self.nodes for part in node.progress_state()
         ) + (self.banked.stats.reads + self.banked.stats.writes,)
 
+    def next_event_time(self, now: int) -> int | None:
+        """Event-horizon contract for the whole cluster: the earliest
+        cycle at which *any* node can make externally visible progress,
+        i.e. the minimum over the running nodes' own horizons (each of
+        which already includes the shared memory's earliest pending
+        completion).  The explicit completion clamp covers the tail case
+        where every node has halted but shared-memory traffic is still
+        draining."""
+        best = self.banked.next_completion_time(now)
+        for node in self.nodes:
+            if node.done():
+                continue
+            t = node.next_event_time(now)
+            if t is not None and (best is None or t < best):
+                best = t
+        return best
+
     def run(
         self,
         max_cycles: int = 10_000_000,
         deadlock_window: int = 10_000,
         fast_forward: bool | None = None,
+        scheduler: str | None = None,
     ) -> ClusterResult:
         """Run every node to completion under shared-memory contention.
 
-        ``fast_forward`` overrides the process-wide default
-        (:data:`repro.core.machine.FAST_FORWARD`); cycle counts and every
-        per-node statistic are bit-identical either way.
+        ``scheduler`` picks the loop exactly as in
+        :meth:`SMAMachine.run` (``"naive"`` / ``"joint-idle"`` /
+        ``"event-horizon"``); when ``None`` it is derived from
+        ``fast_forward``, which itself defaults to the process-wide
+        :data:`repro.core.machine.FAST_FORWARD`.  Cycle counts and every
+        per-node statistic are bit-identical across all three.
         """
-        if fast_forward is None:
-            fast_forward = machine_mod.FAST_FORWARD
+        if scheduler is None:
+            if fast_forward is None:
+                fast_forward = machine_mod.FAST_FORWARD
+            scheduler = "event-horizon" if fast_forward else "naive"
+        elif scheduler not in SMAMachine.SCHEDULERS:
+            raise ValueError(
+                f"unknown scheduler {scheduler!r}; expected one of "
+                + ", ".join(SMAMachine.SCHEDULERS)
+            )
+        if scheduler == "event-horizon":
+            self._run_event_horizon(max_cycles, deadlock_window)
+        else:
+            self._run_joint_idle(
+                max_cycles, deadlock_window, scheduler == "joint-idle"
+            )
+        return self._collect()
+
+    def _run_event_horizon(
+        self, max_cycles: int, deadlock_window: int
+    ) -> None:
+        """Contract-driven cluster loop, subsuming the two-consecutive-
+        idle-cycle heuristic of :meth:`_run_joint_idle`.
+
+        Each iteration asks the cluster horizon whether anything can move
+        before ``now + 2``; if not, it snapshots every running node,
+        steps one live template cycle, confirms joint idleness with the
+        progress tuple, recomputes the horizon from the post-template
+        stall causes (pre-step flags can be stale) and replays the
+        skipped span through every running node's
+        ``replay_stall_cycles`` — the same replay contract the
+        single-machine loops honor, so everything stays bit-identical to
+        naive ticking.  Nodes step through their reference
+        ``step_cycle`` path (per-cycle queue sampling): the cluster's
+        win is jump *eligibility* — one idle cycle instead of two, and
+        contract-verified rather than inferred — not per-cycle cost.
+        """
+        last_state: tuple = ()
+        last_progress = 0
+        while not self.done():
+            now = self.cycle
+            if now >= max_cycles:
+                raise SimulationError(
+                    f"exceeded cycle budget {max_cycles}"
+                )
+            snapshots = None
+            t = self.next_event_time(now)
+            if t is None or t > now + 1:
+                snapshots = [
+                    (node, node.stall_snapshot())
+                    for node in self.nodes
+                    if not node.done()
+                ]
+            self._step_all()
+            state = self._progress_state()
+            if state != last_state:
+                last_state = state
+                last_progress = self.cycle
+                continue
+            if snapshots is not None:
+                target = self.next_event_time(self.cycle)
+                bound = last_progress + deadlock_window + 1
+                if target is None or target > bound:
+                    target = bound
+                if target > max_cycles:
+                    target = max_cycles
+                count = target - self.cycle
+                if count > 0:
+                    for node, snapshot in snapshots:
+                        node.replay_stall_cycles(snapshot, count)
+                    self.cycle += count
+            if self.cycle - last_progress > deadlock_window:
+                raise SimulationError(
+                    f"cluster deadlock at cycle {self.cycle}: "
+                    + self._deadlock_reports()
+                )
+
+    def _run_joint_idle(
+        self,
+        max_cycles: int,
+        deadlock_window: int,
+        fast_forward: bool,
+    ) -> None:
+        """The PR 3 loop: naive ticking, optionally jumping the shared
+        clock after two consecutive jointly-idle cycles."""
         banked = self.banked
         last_state: tuple = ()
         last_progress = 0
@@ -244,6 +347,8 @@ class SMACluster:
                 pending = banked.pending_completions
                 prev_idle = pending == p_pending
                 p_pending = pending
+
+    def _collect(self) -> ClusterResult:
         for index, node in enumerate(self.nodes):
             if self.finish_cycles[index] is None:
                 self.finish_cycles[index] = node.cycle

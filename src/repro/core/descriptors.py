@@ -25,12 +25,15 @@ stream order regardless of bank timing (see
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from functools import partial
+from heapq import heappush
 
 from ..errors import SimulationError
 from ..memory.banks import BankedMemory
 from ..memory.main_memory import as_address
 from ..queues import OperandQueue
+from ..queues.operand_queue import _Slot
 
 
 class StreamKind(enum.Enum):
@@ -40,7 +43,7 @@ class StreamKind(enum.Enum):
     SCATTER = "scatter"
 
 
-@dataclass
+@dataclass(slots=True)
 class StreamDescriptor:
     """One in-flight structured access."""
 
@@ -55,17 +58,23 @@ class StreamDescriptor:
     #: source of indices for GATHER / SCATTER.
     index_queue: OperandQueue | None = None
     issued: int = 0
+    #: role flags derived from ``kind``, resolved once so the per-cycle
+    #: issue paths branch on plain bools instead of enum membership
+    produces: bool = field(init=False, repr=False, default=False)
+    indexed: bool = field(init=False, repr=False, default=False)
 
     def __post_init__(self) -> None:
         if self.count < 0:
             raise SimulationError(f"negative stream count {self.count}")
-        if self.kind in (StreamKind.LOAD, StreamKind.GATHER):
+        self.produces = self.kind in (StreamKind.LOAD, StreamKind.GATHER)
+        self.indexed = self.kind in (StreamKind.GATHER, StreamKind.SCATTER)
+        if self.produces:
             if self.target is None:
                 raise SimulationError(f"{self.kind.value} stream needs a target queue")
-        if self.kind in (StreamKind.STORE, StreamKind.SCATTER):
+        else:
             if self.data_queue is None:
                 raise SimulationError(f"{self.kind.value} stream needs a data queue")
-        if self.kind in (StreamKind.GATHER, StreamKind.SCATTER):
+        if self.indexed:
             if self.index_queue is None:
                 raise SimulationError(f"{self.kind.value} stream needs an index queue")
 
@@ -95,6 +104,11 @@ class StreamEngineStats:
 
 class StreamEngine:
     """Round-robin issue across up to ``max_streams`` live descriptors."""
+
+    __slots__ = (
+        "memory", "max_streams", "issue_per_cycle", "_streams", "_rr",
+        "stats",
+    )
 
     def __init__(
         self,
@@ -216,3 +230,194 @@ class StreamEngine:
             desc.index_queue.pop()
         desc.issued += 1
         return True
+
+    # -- event-horizon fast path ----------------------------------------
+
+    def tick_fast(self, now: int) -> int:
+        """Hand-inlined twin of :meth:`tick` for the event-horizon
+        scheduler's hot loop.
+
+        Must stay behaviorally identical to ``tick`` + ``_try_issue`` —
+        same issue order, same stall notes, same stats — with the
+        per-attempt method calls (``next_address``, ``can_reserve``,
+        ``head_ready``, ``can_accept``) flattened into local deque and
+        list accesses.  The Hypothesis equivalence suite
+        (``tests/test_event_horizon.py``) holds the two paths together.
+        """
+        streams = self._streams
+        if not streams:
+            return 0
+        memory = self.memory
+        config = memory.config
+        bank_free = memory._bank_free_at
+        nbanks = config.num_banks
+        accepts = config.accepts_per_cycle
+        bank_busy = config.bank_busy
+        latency = config.latency
+        mstats = memory.stats
+        storage = memory.storage
+        words = storage._words
+        msize = storage.size
+        observer = storage.observer
+        comps = memory._completions
+        issued = 0
+        attempts = 0
+        n = len(streams)
+        while issued < self.issue_per_cycle and attempts < n:
+            desc = streams[self._rr % len(streams)]
+            ok = False
+            if desc.indexed:
+                islots = desc.index_queue._slots
+                if islots and islots[0].filled:
+                    addr = desc.base + as_address(islots[0].value)
+                else:
+                    addr = None
+            else:
+                addr = desc.base + desc.issued * desc.stride
+            if addr is not None:
+                if desc.produces:
+                    target = desc.target
+                    if len(target._slots) >= target.capacity:
+                        target.stats.full_stalls += 1
+                    else:
+                        cyc, cnt = memory._issues_at
+                        bank = addr % nbanks
+                        if (cyc != now or cnt < accepts) and \
+                                bank_free[bank] <= now:
+                            # inline target.reserve() + the accept side of
+                            # BankedMemory.try_issue (whose port/bank
+                            # checks just passed), in the reference order:
+                            # reserve, bookkeeping, read, completion
+                            if target._lazy:
+                                if target._clock[0] > target._synced:
+                                    target._lazy_flush()
+                                agg = target._agg
+                                if agg is not None:
+                                    agg.change(now, 1)
+                            token = _Slot()
+                            target._slots.append(token)
+                            memory._issues_at = (
+                                (now, cnt + 1) if cyc == now else (now, 1)
+                            )
+                            bank_free[bank] = now + bank_busy
+                            mstats.busy_bank_cycles += bank_busy
+                            mstats.per_bank_accesses[bank] += 1
+                            mstats.reads += 1
+                            if observer is None and 0 <= addr < msize:
+                                result = float(words[addr])
+                            else:
+                                # observer hook or out-of-range fault
+                                result = storage.read(addr)
+                            memory._seq += 1
+                            heappush(comps, (
+                                now + latency, memory._seq,
+                                partial(target.fill, token), result,
+                            ))
+                            ok = True
+                else:
+                    data_queue = desc.data_queue
+                    dslots = data_queue._slots
+                    if not dslots or not dslots[0].filled:
+                        data_queue.stats.empty_stalls += 1
+                    else:
+                        cyc, cnt = memory._issues_at
+                        bank = addr % nbanks
+                        if (cyc != now or cnt < accepts) and \
+                                bank_free[bank] <= now:
+                            memory._issues_at = (
+                                (now, cnt + 1) if cyc == now else (now, 1)
+                            )
+                            bank_free[bank] = now + bank_busy
+                            mstats.busy_bank_cycles += bank_busy
+                            mstats.per_bank_accesses[bank] += 1
+                            mstats.writes += 1
+                            if observer is None and 0 <= addr < msize:
+                                words[addr] = dslots[0].value
+                            else:
+                                storage.write(addr, dslots[0].value)
+                            # inline data_queue.pop() (head just checked)
+                            if data_queue._lazy:
+                                if data_queue._clock[0] > \
+                                        data_queue._synced:
+                                    data_queue._lazy_flush()
+                                agg = data_queue._agg
+                                if agg is not None:
+                                    agg.change(now, -1)
+                            data_queue.stats.pops += 1
+                            dslots.popleft()
+                            ok = True
+            if ok:
+                if desc.indexed:
+                    # inline index_queue.pop() (head verified above)
+                    iq = desc.index_queue
+                    if iq._lazy:
+                        if iq._clock[0] > iq._synced:
+                            iq._lazy_flush()
+                        agg = iq._agg
+                        if agg is not None:
+                            agg.change(now, -1)
+                    iq.stats.pops += 1
+                    iq._slots.popleft()
+                desc.issued += 1
+                issued += 1
+                if desc.issued >= desc.count:
+                    streams.remove(desc)
+                    if not streams:
+                        break
+                    continue  # keep rr pointing at the next stream
+            self._rr = (self._rr + 1) % len(streams)
+            attempts += 1
+        if issued == 0:
+            self.stats.blocked_cycles += 1
+        else:
+            self.stats.requests_issued += issued
+        return issued
+
+    def next_event_time(self, now: int) -> int | None:
+        """Event-horizon contract: earliest cycle the engine can issue a
+        request with every other component frozen.
+
+        Per live descriptor: a missing index, a full target queue or an
+        empty data queue can only be resolved by *another* component
+        (memory completion, EP pop/push, store unit), so such a
+        descriptor contributes nothing; a descriptor blocked only by its
+        target bank's busy window wakes when the bank frees.  The
+        per-cycle port limit resets every cycle and is ignored
+        (conservative: at worst this returns ``now`` and the scheduler
+        does not jump).  Unlike ``tick``/``_try_issue`` this probe is
+        pure — it never records stall notes.
+        """
+        streams = self._streams
+        if not streams:
+            return None
+        bank_free = self.memory._bank_free_at
+        nbanks = self.memory.config.num_banks
+        best = None
+        for desc in streams:
+            if desc.indexed:
+                islots = desc.index_queue._slots
+                if not islots or not islots[0].filled:
+                    continue  # waiting on an index producer
+                idx = islots[0].value
+                i = int(idx)
+                if i != idx:
+                    # malformed index: force a live step so the reference
+                    # issue path raises its usual diagnostic
+                    return now
+                addr = desc.base + i
+            else:
+                addr = desc.base + desc.issued * desc.stride
+            if desc.produces:
+                target = desc.target
+                if len(target._slots) >= target.capacity:
+                    continue  # waiting on the consumer
+            else:
+                dslots = desc.data_queue._slots
+                if not dslots or not dslots[0].filled:
+                    continue  # waiting on the data producer
+            t = bank_free[addr % nbanks]
+            if t <= now:
+                return now
+            if best is None or t < best:
+                best = t
+        return best

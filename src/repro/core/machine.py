@@ -40,6 +40,7 @@ ticking (property-tested in ``tests/test_metrics.py``).
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -314,33 +315,66 @@ class SMAMachine:
             ),
         )
 
+    #: accepted values for ``run(scheduler=...)``
+    SCHEDULERS = ("naive", "joint-idle", "event-horizon")
+
     def run(
         self,
         max_cycles: int = 10_000_000,
         deadlock_window: int = 10_000,
         observer=None,
         fast_forward: bool | None = None,
+        scheduler: str | None = None,
     ) -> SMAResult:
         """Run to completion; returns the collected statistics.
 
         ``observer``, if given, is called as ``observer(machine, cycle)``
         once per simulated cycle after all components have stepped — the
         hook the trace collectors in :mod:`repro.trace` attach through.
-        Attaching an observer disables cycle fast-forward automatically,
-        so collectors always see every cycle.
+        An observer forces naive ticking unless it declares
+        ``wants_every_cycle = False``, in which case the event-horizon
+        loop drives it and reports skipped spans through the observer's
+        optional ``on_replay(machine, start_cycle, count)`` hook.
 
-        ``fast_forward`` overrides the module default
-        (:data:`FAST_FORWARD`); cycle counts and every statistic are
-        bit-identical either way (see the module docstring and
-        ``tests/test_fast_forward.py``).
+        ``scheduler`` selects the simulation loop explicitly:
+
+        ``"naive"``          tick every cycle (the reference loop)
+        ``"joint-idle"``     the PR 3 heuristic: jump to the next memory
+                             event after two consecutive fully-idle cycles
+        ``"event-horizon"``  per-component ``next_event_time`` contracts +
+                             decode-cached fast step paths (default)
+
+        When ``scheduler`` is ``None`` it is derived from ``fast_forward``
+        (which itself defaults to the module-wide :data:`FAST_FORWARD`):
+        ``True`` → event-horizon, ``False`` → naive.  Cycle counts and
+        every statistic are bit-identical across all three (see the module
+        docstring, ``tests/test_fast_forward.py`` and
+        ``tests/test_event_horizon.py``).
         """
-        if fast_forward is None:
-            fast_forward = FAST_FORWARD
+        if scheduler is None:
+            if fast_forward is None:
+                fast_forward = FAST_FORWARD
+            scheduler = "event-horizon" if fast_forward else "naive"
+        elif scheduler not in self.SCHEDULERS:
+            raise ValueError(
+                f"unknown scheduler {scheduler!r}; expected one of "
+                + ", ".join(self.SCHEDULERS)
+            )
         if observer is not None:
+            if scheduler == "event-horizon" and not getattr(
+                observer, "wants_every_cycle", True
+            ):
+                return self._run_event_horizon(
+                    max_cycles, deadlock_window, observer
+                )
             return self._run_traced(max_cycles, deadlock_window, observer)
-        return self._run(max_cycles, deadlock_window, fast_forward)
+        if scheduler == "event-horizon":
+            return self._run_event_horizon(max_cycles, deadlock_window, None)
+        return self._run_joint_idle(
+            max_cycles, deadlock_window, scheduler == "joint-idle"
+        )
 
-    def _run(
+    def _run_joint_idle(
         self, max_cycles: int, deadlock_window: int, fast_forward: bool
     ) -> SMAResult:
         """The unobserved simulation loop (optionally fast-forwarding).
@@ -467,6 +501,230 @@ class SMAMachine:
                     + self.deadlock_report()
                 )
         return self.collect_result()
+
+    # kept for any external callers of the old private name
+    _run = _run_joint_idle
+
+    # -- event-horizon scheduling ----------------------------------------
+
+    def next_event_time(self, now: int) -> int | None:
+        """Earliest cycle ≥ ``now`` at which any component of this
+        machine can make externally visible progress, assuming nothing
+        external intervenes: the minimum over the per-component
+        ``next_event_time`` contracts (AP, EP, stream engine, store
+        unit) and the earliest pending memory completion.  ``None``
+        means no amount of waiting will wake this machine — only an
+        external event (for a cluster node: another node's memory
+        traffic completing) can."""
+        best = self.banked.next_completion_time(now)
+        for t in (
+            self.ap.next_event_time(now),
+            self.ep.next_event_time(now),
+            self.engine.next_event_time(now),
+            self.store_unit.next_event_time(now),
+        ):
+            if t is not None and (best is None or t < best):
+                best = t
+        return best
+
+    def _run_event_horizon(
+        self, max_cycles: int, deadlock_window: int, observer
+    ) -> SMAResult:
+        """The event-horizon simulation loop (see module docstring).
+
+        Queue-occupancy statistics switch to lazy (event-driven)
+        accounting for the duration: occupancies change only on
+        reserve/pop, so each mutation flushes the elapsed span at the
+        stable length instead of every cycle sampling every queue —
+        bit-identical totals at a fraction of the bookkeeping cost.  The
+        ``finally`` re-syncs the queues and folds the load-queue
+        aggregate into the machine-level occupancy counters.
+        """
+        clock = [self.cycle]
+        load_queues = self.queues.load
+        occ_before = [q.stats.occupancy_sum for q in load_queues]
+        agg = self.queues.begin_lazy_sampling(clock)
+        try:
+            self._event_horizon_loop(
+                max_cycles, deadlock_window, clock, observer
+            )
+        finally:
+            clock[0] = self.cycle
+            self.queues.end_lazy_sampling(agg)
+            self._occupancy_sum += sum(
+                q.stats.occupancy_sum - before
+                for q, before in zip(load_queues, occ_before)
+            )
+            if agg.max_seen > self._occupancy_max:
+                self._occupancy_max = agg.max_seen
+        return self.collect_result()
+
+    def _event_horizon_loop(
+        self, max_cycles: int, deadlock_window: int, clock, observer
+    ) -> None:
+        """One fused loop: inlined completion delivery, fast component
+        step paths, and contract-driven jumps.
+
+        A jump is only *planned* when this cycle delivered no completion
+        and both processors ended their last step blocked; it is only
+        *taken* after one live template cycle confirms (via the plain-int
+        progress probe) that nothing moved, and the horizon is then
+        recomputed from the post-template stall causes — the pre-step
+        flags can be stale (e.g. the EP freed a queue after the AP's
+        stall was recorded), so a contract miss downgrades to a skipped
+        jump, never a wrong one.  Replayed spans go through
+        :meth:`_replay_fast`; deadlock and cycle-budget diagnostics fire
+        at the identical cycle as naive ticking.
+        """
+        banked = self.banked
+        ap = self.ap
+        ep = self.ep
+        engine = self.engine
+        su = self.store_unit
+        metrics = self._metrics
+        comps = banked._completions
+        engine_streams = engine._streams
+        owns_memory = self._owns_memory
+        mstats = banked.stats
+        saq_slots = self.queues.store_addr._slots
+        ap_stats = ap.stats
+        ep_stats = ep.stats
+        engine_stats = engine.stats
+        su_stats = su.stats
+        pop = heapq.heappop
+        su_tick = su.tick_fast
+        engine_tick = engine.tick_fast
+        ap_step = ap.step_fast
+        ep_step = ep.step_fast
+        horizon = self.next_event_time
+        take_snapshot = self.stall_snapshot
+        on_replay = (
+            getattr(observer, "on_replay", None)
+            if observer is not None else None
+        )
+        last_progress_cycle = 0
+        p_ap = p_ep = p_req = p_st = p_mem = -1
+        # the loop condition is self.done() spelled out over the hoisted
+        # locals (identity-stable containers), saving five delegated
+        # calls per simulated cycle
+        while not (
+            ap.halted and ep.halted and not engine_streams
+            and not saq_slots and (not owns_memory or not comps)
+        ):
+            now = self.cycle
+            if now >= max_cycles:
+                raise SimulationError(
+                    f"exceeded cycle budget {max_cycles}"
+                )
+            clock[0] = now
+            delivered = False
+            while comps and comps[0][0] <= now:
+                _, _, callback, result = pop(comps)
+                mstats.completions += 1
+                callback(result)
+                delivered = True
+            snapshot = None
+            if (
+                not delivered
+                and (ap.halted or ap._stalled_on is not None)
+                and (ep.halted or ep._stalled_on is not None)
+            ):
+                t = horizon(now)
+                if t is None or t > now + 1:
+                    snapshot = take_snapshot()
+            # each fast step begins with the same emptiness/halt check;
+            # doing it here skips the call entirely on quiet components
+            if saq_slots:
+                su_tick(now)
+            if engine_streams:
+                engine_tick(now)
+            if not ap.halted:
+                ap_step(now)
+            if not ep.halted:
+                ep_step(now)
+            if metrics is not None:
+                metrics.on_cycle(self, now)
+            self.cycle = now + 1
+            if observer is not None:
+                observer(self, now)
+            mem = mstats.reads + mstats.writes
+            ap_i = ap_stats.instructions
+            ep_i = ep_stats.instructions
+            req = engine_stats.requests_issued
+            st = su_stats.stores_issued
+            if (
+                ap_i != p_ap or ep_i != p_ep or req != p_req
+                or st != p_st or mem != p_mem
+            ):
+                p_ap = ap_i
+                p_ep = ep_i
+                p_req = req
+                p_st = st
+                p_mem = mem
+                last_progress_cycle = self.cycle
+                continue
+            if snapshot is not None:
+                target = horizon(self.cycle)
+                bound = last_progress_cycle + deadlock_window + 1
+                if target is None or target > bound:
+                    target = bound
+                if target > max_cycles:
+                    target = max_cycles
+                count = target - self.cycle
+                if count > 0:
+                    start = self.cycle
+                    self._replay_fast(snapshot, count)
+                    if on_replay is not None:
+                        on_replay(self, start, count)
+            if self.cycle - last_progress_cycle > deadlock_window:
+                raise SimulationError(
+                    "deadlock: no forward progress for "
+                    f"{deadlock_window} cycles at cycle {self.cycle}; "
+                    + self.deadlock_report()
+                )
+
+    def _replay_fast(self, snapshot, count: int) -> None:
+        """Closed-form replay for the event-horizon loop: identical to
+        :meth:`replay_stall_cycles` minus the per-queue occupancy
+        sampling, which the lazy accounting installed by
+        ``QueueFile.begin_lazy_sampling`` already covers by span (queue
+        contents do not change across a confirmed-idle span, so the next
+        flush attributes every skipped cycle at the correct length)."""
+        ap_before, lod_before, ep_before, blocked_before, \
+            dwait_before, mwait_before, queues_before = snapshot
+        ap = self.ap.stats
+        for cause, value in ap.stall_cycles.items():
+            delta = value - ap_before.get(cause, 0)
+            if delta:
+                ap.stall_cycles[cause] = value + delta * count
+        ap.lod_events += (ap.lod_events - lod_before) * count
+        ep = self.ep.stats
+        for cause, value in ep.stall_cycles.items():
+            delta = value - ep_before.get(cause, 0)
+            if delta:
+                ep.stall_cycles[cause] = value + delta * count
+        engine_stats = self.engine.stats
+        engine_stats.blocked_cycles += (
+            engine_stats.blocked_cycles - blocked_before
+        ) * count
+        su = self.store_unit.stats
+        su.data_wait_cycles += (su.data_wait_cycles - dwait_before) * count
+        su.memory_wait_cycles += (
+            su.memory_wait_cycles - mwait_before
+        ) * count
+        for queue, (empty_before, full_before) in zip(
+            self._queue_list, queues_before
+        ):
+            stats = queue.stats
+            delta = stats.empty_stalls - empty_before
+            if delta:
+                stats.empty_stalls += delta * count
+            delta = stats.full_stalls - full_before
+            if delta:
+                stats.full_stalls += delta * count
+        if self._metrics is not None:
+            self._metrics.on_replay(self, self.cycle, count)
+        self.cycle += count
 
     # -- fast-forward statistics replay ---------------------------------
     #

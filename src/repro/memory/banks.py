@@ -146,6 +146,22 @@ class BankedMemory:
         """Number of requests in flight (loads awaiting delivery)."""
         return len(self._completions)
 
+    def next_completion_time(self, now: int) -> int | None:
+        """Cycle at which the earliest pending completion fires, or
+        ``None`` when nothing is in flight.
+
+        This is the part of :meth:`next_event_time` that is *spontaneous*:
+        a completion fires regardless of what the processors do, delivering
+        a value (or store acknowledgement) that can unblock a consumer.
+        Bank-free times, by contrast, only matter to a component actually
+        waiting on that bank — the event-horizon scheduler therefore asks
+        each waiting component for its bank horizon and asks the memory
+        only for this completion clamp."""
+        if not self._completions:
+            return None
+        t = self._completions[0][0]
+        return t if t > now else now
+
     def next_event_time(self, now: int) -> int | None:
         """Earliest cycle strictly after ``now`` at which the memory's
         externally visible state changes on its own: a pending completion

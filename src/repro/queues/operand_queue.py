@@ -12,9 +12,18 @@ per queue.
 Values produced locally (EP results, AP store addresses) use the one-step
 :meth:`OperandQueue.push`, which is reserve+fill combined.
 
-Every queue keeps occupancy statistics (time-weighted via per-cycle
-:meth:`OperandQueue.sample`), which the experiment harness uses for the
-queue-occupancy and slip figures.
+Every queue keeps occupancy statistics.  Two accounting modes produce
+bit-identical numbers:
+
+* **per-cycle sampling** — :meth:`OperandQueue.sample` called once per
+  simulated cycle (the reference path);
+* **event-driven sampling** — the occupancy of a FIFO only changes on
+  :meth:`reserve`/:meth:`pop`, so between two such events every per-cycle
+  sample would have recorded the same value.  When a driver activates lazy
+  mode (:meth:`begin_lazy_sampling` on the queue file) each mutation first
+  *flushes* the span of cycles since the previous mutation in closed form.
+  The event-horizon scheduler (see :mod:`repro.core.machine`) uses this to
+  take occupancy accounting out of the per-cycle hot loop entirely.
 """
 
 from __future__ import annotations
@@ -26,10 +35,43 @@ from typing import Any
 from ..errors import QueueError
 
 
-@dataclass
+@dataclass(slots=True)
 class _Slot:
     filled: bool = False
     value: Any = None
+
+
+class LoadOccupancyAggregate:
+    """Event-driven tracker of the *summed* load-queue occupancy.
+
+    ``max_outstanding_loads`` is the maximum of the per-cycle **total**
+    across all load queues, which is not derivable from per-queue maxima
+    (max of a sum is not the sum of maxima).  Load queues report every
+    occupancy change here while lazy sampling is active; a value only
+    counts toward the maximum once it has survived to the end of a cycle,
+    matching what per-cycle end-of-cycle sampling would have observed.
+    """
+
+    __slots__ = ("total", "max_seen", "_synced")
+
+    def __init__(self, total: int, start_cycle: int):
+        self.total = total
+        self.max_seen = 0
+        self._synced = start_cycle
+
+    def change(self, now: int, delta: int) -> None:
+        if now > self._synced:
+            # the old total held for >= 1 full cycle, so per-cycle
+            # sampling would have seen it
+            if self.total > self.max_seen:
+                self.max_seen = self.total
+            self._synced = now
+        self.total += delta
+
+    def finish(self, end_cycle: int) -> None:
+        if end_cycle > self._synced and self.total > self.max_seen:
+            self.max_seen = self.total
+        self._synced = end_cycle
 
 
 @dataclass
@@ -55,6 +97,11 @@ class QueueStats:
 class OperandQueue:
     """A bounded FIFO with the reserve/fill protocol described above."""
 
+    __slots__ = (
+        "name", "capacity", "_slots", "stats",
+        "_lazy", "_clock", "_synced", "_agg",
+    )
+
     def __init__(self, name: str, capacity: int):
         if capacity < 1:
             raise ValueError("queue capacity must be >= 1")
@@ -62,6 +109,30 @@ class OperandQueue:
         self.capacity = capacity
         self._slots: deque[_Slot] = deque()
         self.stats = QueueStats()
+        # event-driven occupancy accounting (see module docstring): the
+        # clock is a shared one-element list the driver advances each cycle
+        self._lazy = False
+        self._clock: list[int] | None = None
+        self._synced = 0
+        self._agg: LoadOccupancyAggregate | None = None
+
+    # -- event-driven occupancy accounting --------------------------------
+
+    def _lazy_flush(self) -> None:
+        """Account every cycle since the last occupancy change at the
+        (constant) occupancy they ended with."""
+        now = self._clock[0]
+        span = now - self._synced
+        if span > 0:
+            n = len(self._slots)
+            st = self.stats
+            st.samples += span
+            st.occupancy_sum += n * span
+            if n > st.occupancy_max:
+                st.occupancy_max = n
+            h = st.histogram
+            h[n] = h.get(n, 0) + span
+            self._synced = now
 
     # -- producer side --------------------------------------------------
 
@@ -74,6 +145,13 @@ class OperandQueue:
         """Reserve the next slot; returns a token to pass to :meth:`fill`."""
         if not self.can_reserve():
             raise QueueError(f"{self.name}: reserve on full queue")
+        if self._lazy:
+            # only pay the flush call when the clock actually advanced
+            # since the previous mutation
+            if self._clock[0] > self._synced:
+                self._lazy_flush()
+            if self._agg is not None:
+                self._agg.change(self._clock[0], 1)
         slot = _Slot()
         self._slots.append(slot)
         return slot
@@ -104,6 +182,11 @@ class OperandQueue:
         """Remove and return the head value; head must be ready."""
         if not self.head_ready():
             raise QueueError(f"{self.name}: pop on empty/unfilled head")
+        if self._lazy:
+            if self._clock[0] > self._synced:
+                self._lazy_flush()
+            if self._agg is not None:
+                self._agg.change(self._clock[0], -1)
         self.stats.pops += 1
         return self._slots.popleft().value
 
@@ -116,6 +199,20 @@ class OperandQueue:
     def note_empty_stall(self) -> None:
         """Record that a consumer stalled on this queue this cycle."""
         self.stats.empty_stalls += 1
+
+    # -- scheduling contract ---------------------------------------------
+
+    def next_event_time(self, now: int) -> int | None:
+        """Event-horizon contract (see ARCHITECTURE section 16): the
+        earliest cycle at which this component's externally visible state
+        can change *with every other component frozen*.
+
+        A queue is entirely passive: its occupancy changes only when a
+        producer reserves or a consumer pops, and fills arrive through
+        memory completions already counted in the banked memory's own
+        horizon.  On its own a queue never wakes anyone, hence ``None``.
+        """
+        return None
 
     # -- introspection ---------------------------------------------------
 

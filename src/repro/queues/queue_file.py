@@ -12,7 +12,7 @@ from __future__ import annotations
 from ..config import SMAConfig
 from ..errors import QueueError
 from ..isa import Queue, QueueSpace
-from .operand_queue import OperandQueue
+from .operand_queue import LoadOccupancyAggregate, OperandQueue
 
 
 class QueueFile:
@@ -88,6 +88,42 @@ class QueueFile:
                 stats.occupancy_max = n
             histogram = stats.histogram
             histogram[n] = histogram.get(n, 0) + 1
+
+    def begin_lazy_sampling(
+        self, clock: list[int]
+    ) -> LoadOccupancyAggregate:
+        """Switch every queue to event-driven occupancy accounting.
+
+        ``clock`` is a shared one-element list the driver must set to the
+        current cycle before stepping any component; each queue flushes
+        the cycles since its last occupancy change on its next mutation.
+        Returns the aggregate that tracks the summed load-queue occupancy
+        (for ``mean/max_outstanding_loads``).  The caller must invoke
+        :meth:`end_lazy_sampling` when it stops driving the clock —
+        including on error paths — or occupancy statistics stay behind.
+        """
+        start = clock[0]
+        agg = LoadOccupancyAggregate(
+            sum(len(q._slots) for q in self.load), start
+        )
+        for q in self._all:
+            q._lazy = True
+            q._clock = clock
+            q._synced = start
+        for q in self.load:
+            q._agg = agg
+        return agg
+
+    def end_lazy_sampling(self, agg: LoadOccupancyAggregate) -> None:
+        """Flush event-driven accounting up to the clock's current cycle
+        and return every queue to per-cycle sampling mode."""
+        end = self._all[0]._clock[0]
+        for q in self._all:
+            q._lazy_flush()
+            q._lazy = False
+            q._clock = None
+            q._agg = None
+        agg.finish(end)
 
     def all_drained(self) -> bool:
         """True when no queue holds any reserved or filled slot."""

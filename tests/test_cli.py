@@ -105,6 +105,42 @@ kernel scale(x[n], y[n]):
         out = capsys.readouterr().out
         assert "access processor" in out and "streamld" in out
 
+    def test_profile(self, capsys):
+        assert main(["profile", "daxpy", "--n", "16", "--top", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "scheduler=event-horizon" in out
+        assert "component" in out
+        assert "stream engine" in out
+        assert "hottest 3 function(s)" in out
+
+    def test_profile_scheduler_choice(self, capsys):
+        assert main(["profile", "daxpy", "--n", "16",
+                     "--scheduler", "naive"]) == 0
+        out = capsys.readouterr().out
+        assert "scheduler=naive" in out
+        # without --top the per-function listing is omitted
+        assert "hottest" not in out
+
+    def test_profile_attribution_groups_by_source_file(self):
+        from repro.cli import profile_attribution
+
+        class FakeStats:
+            stats = {
+                ("/x/src/repro/core/access_processor.py", 1, "step"):
+                    (1, 1, 0.25, 0.25, {}),
+                ("/x/src/repro/queues/operand_queue.py", 2, "pop"):
+                    (1, 1, 0.5, 0.5, {}),
+                ("/x/src/repro/queues/queue_file.py", 3, "sample"):
+                    (1, 1, 0.25, 0.25, {}),
+                ("/usr/lib/python3/heapq.py", 4, "heappop"):
+                    (1, 1, 1.0, 1.0, {}),
+            }
+
+        totals = profile_attribution(FakeStats())
+        assert totals["access processor"] == 0.25
+        assert totals["operand queues"] == 0.75
+        assert totals["other"] == 1.0
+
     def test_experiment_csv(self, capsys, monkeypatch):
         from repro.harness import experiments as exp
         monkeypatch.setitem(
