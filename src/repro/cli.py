@@ -25,6 +25,23 @@ Commands
     JSON, and ``--n`` overrides the problem size (what the CI metrics
     smoke step uses).
 
+``sweep ID``
+    Crash-safe experiment sweep: ``experiment`` plus a mandatory result
+    cache, per-job ``--timeout``, bounded ``--retries`` with pool
+    recovery, and ``--resume`` to continue an interrupted sweep (only
+    uncached jobs re-execute).  ``--inject-fault MODE[:VALUE]``
+    exercises the recovery paths on purpose (see
+    ``repro.harness.faults``); CI uses it to prove kill-resume and
+    corrupt-cache quarantine actually work.
+
+``checkpoint save/load``
+    Mid-run machine checkpoints.  ``save`` runs a kernel for
+    ``--cycles`` cycles, snapshots the full machine state and writes it
+    (with its sha256 digest) to ``--out``; ``load`` rebuilds the same
+    machine, restores the snapshot, verifies the digest, and runs to
+    completion.  Restore is fingerprint-checked: loading a checkpoint
+    into a machine built from different programs or config is an error.
+
 ``report KERNEL``
     Where did every cycle go?  Runs the kernel on both machines with the
     metrics layer attached and prints the stall-attribution breakdown
@@ -187,6 +204,135 @@ def cmd_experiment(args) -> int:
             where = (f" under {collector.directory}"
                      if collector.directory is not None else "")
             print(f"captured {len(collector.reports)} RunReport(s){where}")
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    from pathlib import Path
+
+    from .harness import harness_policy
+    from .harness.faults import FaultSpec
+
+    experiment_id = _normalize_experiment_id(args.id)
+    if experiment_id not in EXPERIMENTS:
+        print(f"unknown experiment {args.id!r}; "
+              f"known: {sorted(EXPERIMENTS)}", file=sys.stderr)
+        return 2
+    cache = Path(args.cache)
+    cached_entries = list(cache.glob("*.json")) if cache.is_dir() else []
+    if cached_entries and not args.resume:
+        print(f"cache {cache} already holds {len(cached_entries)} "
+              "result(s); pass --resume to continue the sweep or point "
+              "--cache at a fresh directory", file=sys.stderr)
+        return 2
+    cache.mkdir(parents=True, exist_ok=True)
+
+    inject = None
+    if args.inject_fault:
+        try:
+            # the token file makes one-shot faults fire once per sweep
+            # even across pool workers (and across --resume reruns)
+            inject = FaultSpec.parse(
+                args.inject_fault, token_path=str(cache / ".fault-token")
+            )
+        except ValueError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+
+    kwargs = {"cache_dir": str(cache)}
+    if args.jobs != 1:
+        kwargs["jobs"] = args.jobs
+    if args.n is not None:
+        kwargs["n"] = args.n
+    with harness_policy(
+        timeout=args.timeout, retries=args.retries, inject=inject
+    ) as stats:
+        table = run_experiment(experiment_id, **kwargs)
+    if args.csv:
+        print(table.to_csv(), end="")
+    else:
+        print(table.to_text())
+    print(f"\nsweep {experiment_id}: {stats.summary()}", file=sys.stderr)
+    return 0
+
+
+def _checkpoint_machine(kernel_name: str, n: int, seed: int, latency: int):
+    """Build the (machine, spec) a ``checkpoint`` snapshot belongs to —
+    save and load must construct it identically for the fingerprint
+    check to pass."""
+    from dataclasses import replace as _replace
+
+    from .core import SMAMachine
+    from .harness.runner import _fit_memory, _load_inputs
+
+    spec = get_kernel(kernel_name)
+    kernel, inputs = spec.instantiate(n, seed)
+    lowered = lower_sma(kernel)
+    sma_cfg, _ = _configs(latency)
+    cfg = _replace(sma_cfg, memory=_fit_memory(sma_cfg.memory,
+                                               lowered.layout))
+    machine = SMAMachine(lowered.access_program, lowered.execute_program,
+                         cfg)
+    _load_inputs(machine, lowered.layout, kernel, inputs)
+    return machine, spec
+
+
+def cmd_checkpoint(args) -> int:
+    import json
+    from pathlib import Path
+
+    from .core import snapshot_digest
+    from .errors import CheckpointError
+
+    if args.action == "save":
+        machine, spec = _checkpoint_machine(
+            args.kernel, args.n, args.seed, args.latency
+        )
+        stepped = machine.step_cycles(args.cycles)
+        snap = machine.snapshot()
+        payload = {
+            "kernel": spec.name,
+            "n": args.n,
+            "seed": args.seed,
+            "latency": args.latency,
+            "digest": snapshot_digest(snap),
+            "snapshot": snap,
+        }
+        out = Path(args.out)
+        out.write_text(json.dumps(payload) + "\n")
+        print(f"saved {spec.name} @ cycle {machine.cycle} "
+              f"({stepped} stepped) to {out}")
+        print(f"digest {payload['digest']}")
+        return 0
+
+    # load: rebuild the identical machine, restore, verify, finish
+    try:
+        payload = json.loads(Path(args.file).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"cannot read checkpoint {args.file}: {exc}",
+              file=sys.stderr)
+        return 2
+    try:
+        machine, spec = _checkpoint_machine(
+            payload["kernel"], payload["n"], payload["seed"],
+            payload["latency"],
+        )
+        machine.restore(payload["snapshot"])
+    except (KeyError, TypeError) as exc:
+        print(f"malformed checkpoint {args.file}: {exc}", file=sys.stderr)
+        return 2
+    except CheckpointError as exc:
+        print(f"checkpoint rejected: {exc}", file=sys.stderr)
+        return 2
+    restored = machine.state_digest()
+    if restored != payload["digest"]:
+        print(f"digest mismatch after restore: {restored} != "
+              f"{payload['digest']}", file=sys.stderr)
+        return 1
+    print(f"restored {spec.name} @ cycle {machine.cycle}")
+    print(f"digest {restored} (verified)")
+    result = machine.run()
+    print(f"ran to completion: {result.cycles} cycles total")
     return 0
 
 
@@ -428,6 +574,57 @@ def build_parser() -> argparse.ArgumentParser:
     p_exp.add_argument("--metrics-dir", default=None, metavar="DIR",
                        help="write captured RunReports as JSON under DIR")
 
+    p_sweep = sub.add_parser(
+        "sweep",
+        help="crash-safe experiment sweep: cached, resumable, with "
+             "per-job timeouts, bounded retries, and fault injection",
+    )
+    p_sweep.add_argument("id", help="experiment id (R-T1..R-F8)")
+    p_sweep.add_argument("--cache", required=True, metavar="DIR",
+                         help="result cache directory (required: it is "
+                              "what makes the sweep resumable)")
+    p_sweep.add_argument("--jobs", type=int, default=1, metavar="N",
+                         help="fan jobs over N worker processes")
+    p_sweep.add_argument("--n", type=int, default=None,
+                         help="override the experiment's problem size")
+    p_sweep.add_argument("--resume", action="store_true",
+                         help="continue into a non-empty cache (only "
+                              "uncached jobs execute)")
+    p_sweep.add_argument("--timeout", type=float, default=None,
+                         metavar="SECONDS",
+                         help="per-job wall-clock timeout (pool mode)")
+    p_sweep.add_argument("--retries", type=int, default=2, metavar="K",
+                         help="retry a failed/timed-out/killed job up to "
+                              "K times (default 2)")
+    p_sweep.add_argument("--inject-fault", default=None,
+                         metavar="MODE[:VALUE]",
+                         help="inject a fault to exercise recovery: "
+                              "worker-kill, cache-corrupt, mem-error:p, "
+                              "driver-kill:k, sleep:s")
+    p_sweep.add_argument("--csv", action="store_true",
+                         help="emit CSV instead of the aligned table")
+
+    p_ckpt = sub.add_parser(
+        "checkpoint",
+        help="save / load a mid-run machine snapshot",
+    )
+    ckpt_sub = p_ckpt.add_subparsers(dest="action", required=True)
+    p_save = ckpt_sub.add_parser(
+        "save", help="run a kernel partway and snapshot it"
+    )
+    p_save.add_argument("kernel")
+    p_save.add_argument("--n", type=int, default=64)
+    p_save.add_argument("--seed", type=int, default=12345)
+    p_save.add_argument("--latency", type=int, default=8)
+    p_save.add_argument("--cycles", type=int, default=50, metavar="K",
+                        help="cycles to simulate before the snapshot")
+    p_save.add_argument("--out", required=True, metavar="FILE",
+                        help="checkpoint JSON output path")
+    p_load = ckpt_sub.add_parser(
+        "load", help="restore a snapshot and run it to completion"
+    )
+    p_load.add_argument("file", help="checkpoint JSON written by 'save'")
+
     p_report = sub.add_parser(
         "report",
         help="stall-attribution RunReport for one kernel "
@@ -490,6 +687,8 @@ _COMMANDS = {
     "run": cmd_run,
     "compile": cmd_compile,
     "experiment": cmd_experiment,
+    "sweep": cmd_sweep,
+    "checkpoint": cmd_checkpoint,
     "report": cmd_report,
     "timeline": cmd_timeline,
     "profile": cmd_profile,

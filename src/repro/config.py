@@ -115,6 +115,34 @@ class CacheConfig:
 
 
 @dataclass(frozen=True)
+class FaultConfig:
+    """Transient-fault injection parameters for the banked memory.
+
+    A non-``None`` :attr:`SMAConfig.faults` wraps the machine's memory in
+    :class:`repro.memory.banks.FaultyMemory`, which deterministically
+    rejects a fraction of requests (timing-only perturbation) and can
+    drop in-flight load completions to exercise the deadlock watchdog.
+    """
+
+    #: probability in [0, 1) that a request is transiently rejected; the
+    #: requester retries next cycle, so this perturbs timing only.
+    reject_prob: float = 0.0
+    #: number of accepted load completions to silently drop (each leaves a
+    #: reserved-but-never-filled queue slot, which the run watchdog reports
+    #: as a deadlock instead of hanging).
+    drop_completions: int = 0
+    #: mixed into the deterministic fault predicate so distinct seeds give
+    #: distinct (but reproducible) fault patterns.
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.reject_prob < 1.0:
+            raise ValueError("reject_prob must be in [0, 1)")
+        if self.drop_completions < 0:
+            raise ValueError("drop_completions must be >= 0")
+
+
+@dataclass(frozen=True)
 class SMAConfig:
     """Full configuration of the decoupled SMA machine."""
 
@@ -134,6 +162,9 @@ class SMAConfig:
     #: number of store-data queues (SDQ0..) and index queues (IQ0..).
     num_store_queues: int = 4
     num_index_queues: int = 4
+    #: optional transient-fault injection (see :class:`FaultConfig`);
+    #: ``None`` (the default) means a fault-free memory system.
+    faults: FaultConfig | None = None
 
     def __post_init__(self) -> None:
         if self.max_streams < 1 or self.stream_issue_per_cycle < 1:

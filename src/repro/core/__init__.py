@@ -1,6 +1,7 @@
 """The SMA machine core: processors, stream engine, store unit, coupling."""
 
 from .access_processor import AccessProcessor, APStats
+from .checkpoint import canonical_json, digest as snapshot_digest
 from .cluster import ClusterResult, SMACluster
 from .descriptors import (
     StreamDescriptor,
@@ -27,4 +28,6 @@ __all__ = [
     "StreamEngine",
     "StreamEngineStats",
     "StreamKind",
+    "canonical_json",
+    "snapshot_digest",
 ]

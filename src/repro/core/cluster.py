@@ -95,7 +95,14 @@ class SMACluster:
             raise ValueError("cluster needs at least one node")
         self.config = config or SMAConfig()
         self.memory = MainMemory(self.config.memory.size)
-        self.banked = BankedMemory(self.memory, self.config.memory)
+        if self.config.faults is not None:
+            from ..memory.banks import FaultyMemory
+
+            self.banked = FaultyMemory(
+                self.memory, self.config.memory, self.config.faults
+            )
+        else:
+            self.banked = BankedMemory(self.memory, self.config.memory)
         node_config = replace(self.config)
         self.nodes = [
             SMAMachine(ap, ep, node_config, shared_memory=self.banked)
@@ -160,6 +167,37 @@ class SMACluster:
                 self.finish_cycles[index] = node.cycle
         self.cycle = now + 1
 
+    def step_cycles(self, count: int) -> int:
+        """Step up to ``count`` cluster cycles (stopping early when every
+        node is done); returns the number actually simulated."""
+        stepped = 0
+        while stepped < count and not self.done():
+            self._step_all()
+            stepped += 1
+        return stepped
+
+    # -- checkpoint / restore --------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Cluster checkpoint: per-node machine snapshots composed with
+        the shared clock, functional store and banked timing state (see
+        :mod:`repro.core.checkpoint`)."""
+        from .checkpoint import snapshot_cluster
+
+        return snapshot_cluster(self)
+
+    def restore(self, data: dict) -> None:
+        """Inverse of :meth:`snapshot` (fingerprint-checked)."""
+        from .checkpoint import restore_cluster
+
+        restore_cluster(self, data)
+
+    def state_digest(self) -> str:
+        """Deterministic sha256 over the canonical snapshot encoding."""
+        from .checkpoint import digest
+
+        return digest(self.snapshot())
+
     def _progress_state(self) -> tuple[int, ...]:
         """Changes iff any node made forward progress or memory moved."""
         return tuple(
@@ -208,6 +246,10 @@ class SMACluster:
                 f"unknown scheduler {scheduler!r}; expected one of "
                 + ", ".join(SMAMachine.SCHEDULERS)
             )
+        if self.banked.fault_injection and scheduler != "naive":
+            # see SMAMachine.run: only naive ticking exercises the
+            # injected faults faithfully
+            scheduler = "naive"
         if scheduler == "event-horizon":
             self._run_event_horizon(max_cycles, deadlock_window)
         else:

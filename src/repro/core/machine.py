@@ -169,7 +169,14 @@ class SMAMachine:
             self._owns_memory = False
         else:
             self.memory = MainMemory(self.config.memory.size)
-            self.banked = BankedMemory(self.memory, self.config.memory)
+            if self.config.faults is not None:
+                from ..memory.banks import FaultyMemory
+
+                self.banked = FaultyMemory(
+                    self.memory, self.config.memory, self.config.faults
+                )
+            else:
+                self.banked = BankedMemory(self.memory, self.config.memory)
             self._owns_memory = True
         self.queues = QueueFile(self.config)
         self.engine = StreamEngine(
@@ -270,6 +277,42 @@ class SMAMachine:
             self._metrics.on_cycle(self, now)
         self.cycle += 1
 
+    def step_cycles(self, count: int) -> int:
+        """Step up to ``count`` cycles (stopping early at completion);
+        returns the number actually simulated.  Convenience for taking
+        mid-run checkpoints at a known cycle."""
+        stepped = 0
+        while stepped < count and not self.done():
+            self.step_cycle()
+            stepped += 1
+        return stepped
+
+    # -- checkpoint / restore --------------------------------------------
+
+    def snapshot(self) -> dict:
+        """JSON-clean image of the machine's full mutable state (see
+        :mod:`repro.core.checkpoint`).  Take only between runs / steps,
+        never from inside a scheduler loop."""
+        from .checkpoint import snapshot_machine
+
+        return snapshot_machine(self)
+
+    def restore(self, data: dict) -> None:
+        """Inverse of :meth:`snapshot`; the machine must have been built
+        from the same programs and configuration (fingerprint-checked,
+        :class:`repro.errors.CheckpointError` otherwise).  All containers
+        are mutated in place, so cached references stay valid."""
+        from .checkpoint import restore_machine
+
+        restore_machine(self, data)
+
+    def state_digest(self) -> str:
+        """Deterministic sha256 over the canonical snapshot encoding; two
+        machines with bit-identical state produce the same digest."""
+        from .checkpoint import digest
+
+        return digest(self.snapshot())
+
     def progress_state(self) -> tuple[int, ...]:
         """A tuple that changes iff the machine made forward progress
         (used for deadlock detection, here and in the cluster)."""
@@ -360,6 +403,12 @@ class SMAMachine:
                 f"unknown scheduler {scheduler!r}; expected one of "
                 + ", ".join(self.SCHEDULERS)
             )
+        if self.banked.fault_injection and scheduler != "naive":
+            # the fast schedulers inline memory acceptance (tick_fast /
+            # step_fast) and jump over cycles in which the deterministic
+            # fault predicate would have changed its verdict; only naive
+            # ticking exercises the injected faults faithfully
+            scheduler = "naive"
         if observer is not None:
             if scheduler == "event-horizon" and not getattr(
                 observer, "wants_every_cycle", True

@@ -276,6 +276,9 @@ def _run_occupancy(job: Job) -> dict:
 
 def run_job(job: Job) -> dict:
     """Execute one job; returns a flat JSON-serializable result dict."""
+    from .faults import before_job
+
+    before_job(job)
     if job.machine == "sma":
         return _run_sma(job, use_streams=True)
     if job.machine == "sma-nostream":

@@ -1,4 +1,4 @@
-"""Job fan-out and result caching for the sweep harness.
+"""Fault-tolerant job fan-out and result caching for the sweep harness.
 
 :func:`run_jobs` is the one entry point: it takes the declarative job
 list an experiment built, optionally consults an on-disk result cache,
@@ -10,19 +10,127 @@ The cache key binds each result to the *code* as well as the job: a
 sha256 over every ``src/repro`` Python source (:func:`code_fingerprint`)
 is mixed into the key, so editing the simulator silently invalidates
 stale entries instead of serving them.
+
+Crash safety (PR 5):
+
+* **Atomic flushes.**  Each entry is written to a temp file in the cache
+  directory and ``os.replace``d into place — a kill mid-write can never
+  leave a truncated entry under the real key.
+* **Corruption quarantine.**  A cache probe that finds undecodable JSON
+  (torn write from an older harness, disk fault) treats it as a miss,
+  moves the file aside to ``<key>.json.corrupt`` and logs it, instead of
+  crashing the sweep.
+* **Incremental flushes.**  Results are flushed as each job lands — in
+  the pool path via completed-future consumption, not a barrier after
+  ``pool.map`` — so a crashed worker or killed driver loses only the
+  jobs still in flight; a ``--resume`` rerun skips everything flushed.
+* **Timeout / retry / respawn.**  A :class:`HarnessPolicy` adds a
+  per-job timeout, bounded retries with exponential backoff, and
+  ``BrokenProcessPool`` recovery that respawns the pool and requeues
+  only unfinished jobs.  All default off (``retries=0``), preserving
+  the seed harness's fail-fast behavior and cost.
+* **Fault injection.**  ``policy.inject`` (a
+  :class:`repro.harness.faults.FaultSpec`) arms the failure the CI
+  smoke wants to prove recovery from; workers receive it through the
+  pool initializer.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
+import logging
+import os
+import tempfile
+import time
+from collections import deque
+from contextlib import contextmanager
+from dataclasses import dataclass, field, replace
 from functools import lru_cache
 from pathlib import Path
-from typing import Sequence
+from typing import Optional, Sequence
 
+from . import faults
+from .faults import FaultSpec
 from .jobs import Job, run_job
 
 _SRC_ROOT = Path(__file__).resolve().parent.parent  # src/repro
+
+_LOG = logging.getLogger("repro.harness")
+
+#: how often the pool loop wakes to check per-job deadlines (seconds)
+_DEADLINE_POLL = 0.1
+
+
+class SweepError(RuntimeError):
+    """A sweep could not complete within its retry budget."""
+
+
+@dataclass
+class SweepStats:
+    """What a sweep did — surfaced by ``repro sweep`` and the tests."""
+
+    hits: int = 0         #: results served from the cache
+    executed: int = 0     #: jobs actually simulated
+    flushed: int = 0      #: results written to the cache
+    retried: int = 0      #: job re-executions (failure or timeout)
+    respawns: int = 0     #: process pools rebuilt after a crash/timeout
+    quarantined: int = 0  #: corrupt cache entries moved aside
+
+    def summary(self) -> str:
+        return (
+            f"{self.hits} cached, {self.executed} executed, "
+            f"{self.flushed} flushed, {self.retried} retried, "
+            f"{self.respawns} pool respawns, "
+            f"{self.quarantined} quarantined"
+        )
+
+
+@dataclass(frozen=True)
+class HarnessPolicy:
+    """Sweep robustness knobs; the defaults reproduce the fail-fast
+    seed behavior exactly (no timeout, no retry, no injection)."""
+
+    #: per-job wall-clock timeout in seconds (pool mode only); ``None``
+    #: waits forever.
+    timeout: float | None = None
+    #: how many times a failed or timed-out job is re-executed.
+    retries: int = 0
+    #: base of the exponential retry backoff (seconds); attempt ``k``
+    #: sleeps ``backoff * 2**k``.
+    backoff: float = 0.25
+    #: fault to inject (see :mod:`repro.harness.faults`).
+    inject: FaultSpec | None = None
+    #: shared stats sink; ``run_jobs`` accumulates into it when set.
+    stats: SweepStats | None = field(default=None, compare=False)
+
+
+_POLICY = HarnessPolicy()
+
+
+def set_policy(policy: HarnessPolicy) -> HarnessPolicy:
+    """Install the ambient sweep policy; returns the previous one."""
+    global _POLICY
+    previous = _POLICY
+    _POLICY = policy
+    return previous
+
+
+@contextmanager
+def harness_policy(**kwargs):
+    """Scoped policy override::
+
+        with harness_policy(retries=2, timeout=60.0) as stats:
+            run_experiment("R-F1", jobs=4, cache_dir=cache)
+    """
+    policy = HarnessPolicy(**kwargs)
+    if policy.stats is None:
+        policy = replace(policy, stats=SweepStats())
+    previous = set_policy(policy)
+    try:
+        yield policy.stats
+    finally:
+        set_policy(previous)
 
 
 @lru_cache(maxsize=1)
@@ -48,10 +156,66 @@ def _cache_path(cache_dir: Path, key: str) -> Path:
     return cache_dir / f"{key}.json"
 
 
+def _load_cache_entry(path: Path, stats: SweepStats) -> dict | None:
+    """Read one cache entry; undecodable entries are quarantined to
+    ``<name>.corrupt`` (outside the ``*.json`` namespace, so they are
+    never probed again) and treated as a miss."""
+    try:
+        text = path.read_text()
+    except OSError:
+        return None
+    try:
+        return json.loads(text)
+    except json.JSONDecodeError:
+        quarantine = path.with_name(path.name + ".corrupt")
+        try:
+            os.replace(path, quarantine)
+        except OSError:  # pragma: no cover - racing cleanup
+            pass
+        stats.quarantined += 1
+        _LOG.warning(
+            "quarantined corrupt cache entry %s -> %s",
+            path.name, quarantine.name,
+        )
+        return None
+
+
+def _flush(
+    cache: Path,
+    key: str,
+    result: dict,
+    stats: SweepStats,
+    inject: FaultSpec | None,
+) -> None:
+    """Atomically persist one result: temp file in the same directory,
+    then ``os.replace`` (atomic on POSIX within one filesystem)."""
+    path = _cache_path(cache, key)
+    fd, tmp = tempfile.mkstemp(
+        dir=cache, prefix=key[:16] + "-", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(json.dumps(result))
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    stats.flushed += 1
+    faults.after_flush(inject, path, stats.flushed)
+
+
 def run_jobs(
     jobs: Sequence[Job],
     workers: int = 1,
     cache_dir: str | Path | None = None,
+    *,
+    timeout: float | None = None,
+    retries: int | None = None,
+    backoff: float | None = None,
+    inject: FaultSpec | None = None,
 ) -> list[dict]:
     """Run ``jobs`` and return their result dicts in the same order.
 
@@ -60,7 +224,22 @@ def run_jobs(
     lets the per-process compilation memoization in :mod:`.jobs` see the
     whole sweep.  ``cache_dir``, when given, persists each result as JSON
     keyed by (code fingerprint, job) and reuses hits on later runs.
+
+    The keyword-only robustness knobs default to the ambient
+    :class:`HarnessPolicy` (see :func:`harness_policy` /
+    :func:`set_policy`); genuine job exceptions propagate unchanged once
+    the retry budget is exhausted.
     """
+    policy = _POLICY
+    timeout = policy.timeout if timeout is None else timeout
+    retries = policy.retries if retries is None else retries
+    backoff = policy.backoff if backoff is None else backoff
+    inject = policy.inject if inject is None else inject
+    stats = policy.stats if policy.stats is not None else SweepStats()
+
+    if inject is not None:
+        jobs = faults.apply_to_jobs(jobs, inject)
+
     results: list[dict | None] = [None] * len(jobs)
     pending: list[int] = []
     cache: Path | None = None
@@ -73,9 +252,12 @@ def run_jobs(
                 f"result cache path {cache} exists and is not a directory"
             ) from None
         for i, job in enumerate(jobs):
-            path = _cache_path(cache, job_key(job))
-            if path.exists():
-                results[i] = json.loads(path.read_text())
+            entry = _load_cache_entry(
+                _cache_path(cache, job_key(job)), stats
+            )
+            if entry is not None:
+                results[i] = entry
+                stats.hits += 1
             else:
                 pending.append(i)
     else:
@@ -83,16 +265,181 @@ def run_jobs(
 
     if pending:
         if workers > 1:
-            from concurrent.futures import ProcessPoolExecutor
-
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                fresh = list(pool.map(run_job, [jobs[i] for i in pending]))
+            _run_pool(
+                jobs, pending, results, workers, cache, stats,
+                timeout, retries, backoff, inject,
+            )
         else:
-            fresh = [run_job(jobs[i]) for i in pending]
-        for i, result in zip(pending, fresh):
-            results[i] = result
-            if cache is not None:
-                _cache_path(cache, job_key(jobs[i])).write_text(
-                    json.dumps(result)
-                )
+            _run_serial(
+                jobs, pending, results, cache, stats,
+                retries, backoff, inject,
+            )
     return results  # type: ignore[return-value]
+
+
+def _run_serial(
+    jobs, pending, results, cache, stats, retries, backoff, inject
+) -> None:
+    previous = faults.install(inject) if inject is not None else None
+    try:
+        for i in pending:
+            for attempt in range(retries + 1):
+                try:
+                    result = run_job(jobs[i])
+                    break
+                except Exception as exc:
+                    if attempt >= retries:
+                        raise
+                    stats.retried += 1
+                    _LOG.warning(
+                        "job %d failed (%s: %s); retry %d/%d",
+                        i, type(exc).__name__, exc, attempt + 1, retries,
+                    )
+                    time.sleep(backoff * (2 ** attempt))
+            results[i] = result
+            stats.executed += 1
+            if cache is not None:
+                _flush(cache, job_key(jobs[i]), result, stats, inject)
+    finally:
+        if inject is not None:
+            faults.install(previous)
+
+
+def _kill_pool(pool) -> None:
+    """Tear a pool down without waiting on wedged workers."""
+    processes = dict(getattr(pool, "_processes", None) or {})
+    for proc in processes.values():
+        if proc.is_alive():
+            proc.kill()
+    pool.shutdown(wait=False, cancel_futures=True)
+
+
+def _run_pool(
+    jobs, pending, results, workers, cache, stats,
+    timeout, retries, backoff, inject,
+) -> None:
+    """Completed-future consumption with per-job deadlines: each result
+    is flushed as it lands, a crashed pool is respawned with only the
+    unfinished jobs requeued, and a job past its deadline costs one
+    retry while its innocent pool-mates are requeued for free."""
+    from concurrent.futures import (
+        FIRST_COMPLETED,
+        ProcessPoolExecutor,
+        wait,
+    )
+    from concurrent.futures.process import BrokenProcessPool
+
+    def new_pool():
+        return ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=faults.install,
+            initargs=(inject,),
+        )
+
+    queue = deque(pending)
+    attempts = dict.fromkeys(pending, 0)
+    pool = new_pool()
+    inflight: dict = {}  # future -> (job index, deadline or None)
+
+    def charge(i: int, why: str, cause: BaseException | None) -> None:
+        """One failed execution of job ``i``; raises when the retry
+        budget is gone."""
+        attempts[i] += 1
+        if attempts[i] > retries:
+            if cause is not None and not isinstance(
+                cause, (BrokenProcessPool, TimeoutError)
+            ):
+                raise cause  # genuine job failure: propagate unchanged
+            raise SweepError(
+                f"job {i} failed {attempts[i]} time(s) ({why}) with "
+                f"retries={retries}"
+            ) from cause
+        stats.retried += 1
+        _LOG.warning(
+            "job %d %s; retry %d/%d", i, why, attempts[i], retries
+        )
+        queue.append(i)
+
+    try:
+        while queue or inflight:
+            while queue and len(inflight) < workers:
+                i = queue.popleft()
+                deadline = (
+                    time.monotonic() + timeout
+                    if timeout is not None else None
+                )
+                try:
+                    future = pool.submit(run_job, jobs[i])
+                except BrokenProcessPool:
+                    # pool died between loop iterations; respawn and
+                    # retry the submit on the fresh pool
+                    queue.appendleft(i)
+                    for other, (j, _deadline) in inflight.items():
+                        queue.append(j)
+                    inflight.clear()
+                    _kill_pool(pool)
+                    pool = new_pool()
+                    stats.respawns += 1
+                    continue
+                inflight[future] = (i, deadline)
+            if not inflight:
+                continue
+            done, _ = wait(
+                list(inflight),
+                timeout=_DEADLINE_POLL if timeout is not None else None,
+                return_when=FIRST_COMPLETED,
+            )
+            broken = None
+            for future in done:
+                i, _deadline = inflight.pop(future)
+                exc = future.exception()
+                if exc is None:
+                    result = future.result()
+                    results[i] = result
+                    stats.executed += 1
+                    if cache is not None:
+                        _flush(
+                            cache, job_key(jobs[i]), result, stats, inject
+                        )
+                elif isinstance(exc, BrokenProcessPool):
+                    broken = exc
+                    charge(i, "lost to a crashed worker", exc)
+                else:
+                    charge(i, f"raised {type(exc).__name__}", exc)
+                    if backoff:
+                        time.sleep(
+                            backoff * (2 ** (attempts[i] - 1))
+                        )
+            if broken is not None or getattr(pool, "_broken", False):
+                # every other in-flight job is collateral: requeue
+                # without charging a retry
+                for future, (i, _deadline) in inflight.items():
+                    queue.append(i)
+                inflight.clear()
+                _kill_pool(pool)
+                pool = new_pool()
+                stats.respawns += 1
+                continue
+            if timeout is not None and inflight:
+                now = time.monotonic()
+                overdue = [
+                    (future, i)
+                    for future, (i, deadline) in inflight.items()
+                    if deadline is not None and now > deadline
+                ]
+                if overdue:
+                    # a wedged worker cannot be cancelled; recycle the
+                    # whole pool, charging only the overdue jobs
+                    overdue_set = {future for future, _i in overdue}
+                    for future, (i, _deadline) in inflight.items():
+                        if future not in overdue_set:
+                            queue.append(i)
+                    inflight.clear()
+                    _kill_pool(pool)
+                    pool = new_pool()
+                    stats.respawns += 1
+                    for _future, i in overdue:
+                        charge(i, f"timed out after {timeout:g}s", None)
+        pool.shutdown(wait=True)
+    finally:
+        _kill_pool(pool)
