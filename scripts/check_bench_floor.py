@@ -7,12 +7,15 @@ Usage::
     python scripts/check_bench_floor.py [BENCH_JSON]
 
 Reads ``BENCH_sim_throughput.json`` (default: repo root) as written by
-``benchmarks/bench_sim_throughput.py`` and fails when the event-horizon
-scheduler's measured throughput falls below its floor against naive
-ticking on the smoke sweep.  The floor lives in the JSON itself
-(``floors.smoke_event_horizon_vs_naive``, 2x by default — deliberately
-laxer than the 3x benchmark assertion so shared CI runners don't flake)
-so benchmark and gate can never disagree about the contract.
+``benchmarks/bench_sim_throughput.py`` and fails when either measured
+smoke ratio falls below its floor: the event-horizon scheduler against
+naive ticking on the low-latency sweep, and the codegen backend against
+the interpreted event-horizon loop on the latency-dominated sweep.  The
+floors live in the JSON itself (``floors.smoke_event_horizon_vs_naive``,
+2x by default, and ``floors.smoke_codegen_vs_event_horizon``, 1.5x —
+both deliberately laxer than the 3x full-benchmark assertions so shared
+CI runners don't flake) so benchmark and gate can never disagree about
+the contract.
 
 Exit status is non-zero on a miss, a malformed file, or implausible
 numbers (schedulers disagreeing on simulated cycles), so the workflow
@@ -28,7 +31,41 @@ from pathlib import Path
 REPO = Path(__file__).resolve().parent.parent
 DEFAULT_JSON = REPO / "BENCH_sim_throughput.json"
 
-REQUIRED_SCHEDULERS = ("naive", "joint-idle", "event-horizon")
+REQUIRED_SCHEDULERS = ("naive", "joint-idle", "event-horizon", "codegen")
+REQUIRED_SWEEPS = ("scheduler", "codegen")
+
+#: (sweep, numerator scheduler, denominator scheduler, floor key) per gate
+GATES = (
+    ("scheduler", "naive", "event-horizon", "smoke_event_horizon_vs_naive"),
+    ("codegen", "event-horizon", "codegen", "smoke_codegen_vs_event_horizon"),
+)
+
+
+def _check_sweep(label: str, sweep: dict) -> list[str]:
+    problems: list[str] = []
+    schedulers = sweep.get("schedulers", {})
+    for name in REQUIRED_SCHEDULERS:
+        row = schedulers.get(name)
+        if not row:
+            problems.append(f"{label}: missing scheduler entry {name!r}")
+            continue
+        for field in ("cycles", "seconds", "cycles_per_sec"):
+            if not isinstance(row.get(field), (int, float)) \
+                    or row[field] <= 0:
+                problems.append(
+                    f"{label}: {name}.{field} missing or non-positive"
+                )
+    if problems:
+        return problems
+
+    cycle_counts = {schedulers[n]["cycles"] for n in REQUIRED_SCHEDULERS}
+    if len(cycle_counts) != 1:
+        problems.append(
+            f"{label}: schedulers disagree on simulated cycles: "
+            + ", ".join(f"{n}={schedulers[n]['cycles']}"
+                        for n in REQUIRED_SCHEDULERS)
+        )
+    return problems
 
 
 def check(path: Path) -> list[str]:
@@ -42,41 +79,32 @@ def check(path: Path) -> list[str]:
     except json.JSONDecodeError as exc:
         return [f"{path} is not valid JSON: {exc}"]
 
-    schedulers = data.get("schedulers", {})
-    for name in REQUIRED_SCHEDULERS:
-        row = schedulers.get(name)
-        if not row:
-            problems.append(f"missing scheduler entry {name!r}")
+    sweeps = data.get("sweeps", {})
+    for label in REQUIRED_SWEEPS:
+        sweep = sweeps.get(label)
+        if not isinstance(sweep, dict):
+            problems.append(f"missing sweep section {label!r}")
             continue
-        for field in ("cycles", "seconds", "cycles_per_sec"):
-            if not isinstance(row.get(field), (int, float)) \
-                    or row[field] <= 0:
-                problems.append(f"{name}.{field} missing or non-positive")
+        problems.extend(_check_sweep(label, sweep))
     if problems:
         return problems
 
-    cycle_counts = {schedulers[n]["cycles"] for n in REQUIRED_SCHEDULERS}
-    if len(cycle_counts) != 1:
-        problems.append(
-            "schedulers disagree on simulated cycles: "
-            + ", ".join(f"{n}={schedulers[n]['cycles']}"
-                        for n in REQUIRED_SCHEDULERS)
-        )
-
-    floor = data.get("floors", {}).get("smoke_event_horizon_vs_naive")
-    if not isinstance(floor, (int, float)) or floor <= 0:
-        problems.append("floors.smoke_event_horizon_vs_naive missing")
-        return problems
-
-    ratio = (schedulers["naive"]["seconds"]
-             / schedulers["event-horizon"]["seconds"])
-    print(f"event-horizon vs naive: {ratio:.2f}x (floor {floor}x) on "
-          f"sweep {data.get('sweep')}")
-    if ratio < floor:
-        problems.append(
-            f"event-horizon throughput floor missed: {ratio:.2f}x < "
-            f"{floor}x vs naive ticking"
-        )
+    floors = data.get("floors", {})
+    for label, slow, fast, floor_key in GATES:
+        floor = floors.get(floor_key)
+        if not isinstance(floor, (int, float)) or floor <= 0:
+            problems.append(f"floors.{floor_key} missing")
+            continue
+        rows = sweeps[label]["schedulers"]
+        ratio = rows[slow]["seconds"] / rows[fast]["seconds"]
+        print(f"{fast} vs {slow}: {ratio:.2f}x (floor {floor}x) on "
+              f"{label} sweep, latencies "
+              f"{tuple(sweeps[label].get('latencies', ()))}")
+        if ratio < floor:
+            problems.append(
+                f"{fast} throughput floor missed: {ratio:.2f}x < "
+                f"{floor}x vs {slow} on the {label} sweep"
+            )
     return problems
 
 

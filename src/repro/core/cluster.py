@@ -135,7 +135,7 @@ class SMACluster:
     def done(self) -> bool:
         return all(n.done() for n in self.nodes) and self.banked.quiescent()
 
-    def _step_all(self) -> None:
+    def _step_all(self, steppers: list | None = None) -> None:
         """Simulate one cluster cycle: memory tick, then every running
         node, in an order that rotates with the cycle number.
 
@@ -144,6 +144,10 @@ class SMACluster:
         (The old code deferred recording to the node's next visit, one
         cycle late under naive ticking and a whole jump late under
         fast-forward.)
+
+        ``steppers``, when given, holds one compiled per-node step
+        function (or ``None``) per node — the codegen scheduler's
+        specialized replacement for ``step_cycle(tick_memory=False)``.
         """
         now = self.cycle
         self.banked.tick(now)
@@ -162,10 +166,31 @@ class SMACluster:
                     self.finish_cycles[index] = now
                 continue
             node.cycle = now
-            node.step_cycle(tick_memory=False)
+            fn = steppers[index] if steppers is not None else None
+            if fn is not None:
+                fn(node, now)
+            else:
+                node.step_cycle(tick_memory=False)
             if self.finish_cycles[index] is None and node.done():
                 self.finish_cycles[index] = node.cycle
         self.cycle = now + 1
+
+    def _compiled_steppers(self) -> list | None:
+        """Per-node compiled step functions for the codegen scheduler.
+
+        Entries are ``None`` for nodes the emitter cannot specialize
+        (those fall back to the interpreted ``step_cycle``); the whole
+        list is ``None`` — reverting the run to the event-horizon
+        template stepping — when a memory observer is attached, because
+        generated bodies read the functional store directly and would
+        bypass the observer hook.
+        """
+        if self.memory.observer is not None:
+            return None
+        from ..codegen import compiled_step_for
+
+        steppers = [compiled_step_for(node) for node in self.nodes]
+        return [art.fn if art is not None else None for art in steppers]
 
     def step_cycles(self, count: int) -> int:
         """Step up to ``count`` cluster cycles (stopping early when every
@@ -231,11 +256,16 @@ class SMACluster:
         """Run every node to completion under shared-memory contention.
 
         ``scheduler`` picks the loop exactly as in
-        :meth:`SMAMachine.run` (``"naive"`` / ``"joint-idle"`` /
-        ``"event-horizon"``); when ``None`` it is derived from
-        ``fast_forward``, which itself defaults to the process-wide
-        :data:`repro.core.machine.FAST_FORWARD`.  Cycle counts and every
-        per-node statistic are bit-identical across all three.
+        :meth:`SMAMachine.run` — any key of
+        :data:`SMAMachine.SCHEDULERS` (``"naive"`` / ``"joint-idle"`` /
+        ``"event-horizon"`` / ``"codegen"``); when ``None`` it is
+        derived from ``fast_forward``, which itself defaults to the
+        process-wide :data:`repro.core.machine.FAST_FORWARD`.  The
+        codegen scheduler runs the event-horizon loop with each node's
+        interpreted ``step_cycle`` replaced by its compiled
+        program-specialized step function (unspecializable nodes fall
+        back per node).  Cycle counts and every per-node statistic are
+        bit-identical across all four.
         """
         if scheduler is None:
             if fast_forward is None:
@@ -250,7 +280,12 @@ class SMACluster:
             # see SMAMachine.run: only naive ticking exercises the
             # injected faults faithfully
             scheduler = "naive"
-        if scheduler == "event-horizon":
+        if scheduler == "codegen":
+            self._run_event_horizon(
+                max_cycles, deadlock_window,
+                steppers=self._compiled_steppers(),
+            )
+        elif scheduler == "event-horizon":
             self._run_event_horizon(max_cycles, deadlock_window)
         else:
             self._run_joint_idle(
@@ -259,7 +294,8 @@ class SMACluster:
         return self._collect()
 
     def _run_event_horizon(
-        self, max_cycles: int, deadlock_window: int
+        self, max_cycles: int, deadlock_window: int,
+        steppers: list | None = None,
     ) -> None:
         """Contract-driven cluster loop, subsuming the two-consecutive-
         idle-cycle heuristic of :meth:`_run_joint_idle`.
@@ -276,6 +312,9 @@ class SMACluster:
         ``step_cycle`` path (per-cycle queue sampling): the cluster's
         win is jump *eligibility* — one idle cycle instead of two, and
         contract-verified rather than inferred — not per-cycle cost.
+        The codegen scheduler reuses this loop with ``steppers`` — each
+        node's compiled program-specialized step function — attacking
+        exactly that per-cycle cost while inheriting the jump logic.
         """
         last_state: tuple = ()
         last_progress = 0
@@ -293,7 +332,7 @@ class SMACluster:
                     for node in self.nodes
                     if not node.done()
                 ]
-            self._step_all()
+            self._step_all(steppers)
             state = self._progress_state()
             if state != last_state:
                 last_state = state

@@ -358,8 +358,34 @@ class SMAMachine:
             ),
         )
 
-    #: accepted values for ``run(scheduler=...)``
-    SCHEDULERS = ("naive", "joint-idle", "event-horizon")
+    # -- scheduler registry ----------------------------------------------
+    #
+    # Each entry maps a scheduler name to an unobserved loop adapter
+    # ``(machine, max_cycles, deadlock_window) -> SMAResult``.  The CLI
+    # (``--scheduler`` choices), the cluster and the benchmark shoot-out
+    # all iterate this mapping, so registering a scheduler here is the
+    # single step needed to surface it everywhere.
+
+    def _scheduler_naive(self, max_cycles, deadlock_window):
+        return self._run_joint_idle(max_cycles, deadlock_window, False)
+
+    def _scheduler_joint_idle(self, max_cycles, deadlock_window):
+        return self._run_joint_idle(max_cycles, deadlock_window, True)
+
+    def _scheduler_event_horizon(self, max_cycles, deadlock_window):
+        return self._run_event_horizon(max_cycles, deadlock_window, None)
+
+    def _scheduler_codegen(self, max_cycles, deadlock_window):
+        return self._run_codegen(max_cycles, deadlock_window)
+
+    #: accepted values for ``run(scheduler=...)``, in reference-first
+    #: order (the first entry is the baseline the others must match)
+    SCHEDULERS = {
+        "naive": _scheduler_naive,
+        "joint-idle": _scheduler_joint_idle,
+        "event-horizon": _scheduler_event_horizon,
+        "codegen": _scheduler_codegen,
+    }
 
     def run(
         self,
@@ -386,11 +412,17 @@ class SMAMachine:
                              event after two consecutive fully-idle cycles
         ``"event-horizon"``  per-component ``next_event_time`` contracts +
                              decode-cached fast step paths (default)
+        ``"codegen"``        a straight-line loop compiled for this exact
+                             (program, config) pair — event-horizon
+                             structure with all dispatch specialized away
+                             (:mod:`repro.codegen`); falls back to
+                             event-horizon when the machine cannot be
+                             specialized
 
         When ``scheduler`` is ``None`` it is derived from ``fast_forward``
         (which itself defaults to the module-wide :data:`FAST_FORWARD`):
         ``True`` → event-horizon, ``False`` → naive.  Cycle counts and
-        every statistic are bit-identical across all three (see the module
+        every statistic are bit-identical across all four (see the module
         docstring, ``tests/test_fast_forward.py`` and
         ``tests/test_event_horizon.py``).
         """
@@ -410,18 +442,16 @@ class SMAMachine:
             # ticking exercises the injected faults faithfully
             scheduler = "naive"
         if observer is not None:
-            if scheduler == "event-horizon" and not getattr(
+            if scheduler in ("event-horizon", "codegen") and not getattr(
                 observer, "wants_every_cycle", True
             ):
+                # generated loops carry no observer hook; a replay-aware
+                # observer rides the interpreted event-horizon loop
                 return self._run_event_horizon(
                     max_cycles, deadlock_window, observer
                 )
             return self._run_traced(max_cycles, deadlock_window, observer)
-        if scheduler == "event-horizon":
-            return self._run_event_horizon(max_cycles, deadlock_window, None)
-        return self._run_joint_idle(
-            max_cycles, deadlock_window, scheduler == "joint-idle"
-        )
+        return self.SCHEDULERS[scheduler](self, max_cycles, deadlock_window)
 
     def _run_joint_idle(
         self, max_cycles: int, deadlock_window: int, fast_forward: bool
@@ -731,6 +761,61 @@ class SMAMachine:
                     f"{deadlock_window} cycles at cycle {self.cycle}; "
                     + self.deadlock_report()
                 )
+
+    # -- program-specialized codegen scheduling --------------------------
+
+    def _run_codegen(self, max_cycles: int, deadlock_window: int) -> SMAResult:
+        """Run the straight-line loop compiled for this (program, config)
+        pair (see :mod:`repro.codegen`).
+
+        The compiled artifact bakes in exactly what the emitter saw, so
+        this falls back to the interpreted event-horizon loop — which is
+        bit-identical — whenever the live machine strays from that:
+        per-cycle metrics or a memory observer attached, a swapped
+        program object (the decode caches would be stale), an operand
+        shape the emitter cannot specialize, or a mid-flight start (live
+        stream descriptors, pending store addresses or in-flight
+        completions at entry — e.g. a restored snapshot or a resumed
+        budget abort).  The compiled loop fully localizes the async
+        subsystems' bookkeeping, so it requires them quiescent when it
+        takes over; register/queue/memory contents may be anything.
+        Fault injection never reaches here: :meth:`run` downgrades
+        every non-naive scheduler to naive first.
+        """
+        artifact = None
+        if (
+            self._metrics is None
+            and self.memory.observer is None
+            and self.ap.program is self.ap._prog
+            and self.ep.program is self.ep._prog
+            and not self.engine._streams
+            and not self.queues.store_addr._slots
+            and not self.banked._completions
+        ):
+            from ..codegen import compiled_loop_for
+
+            artifact = compiled_loop_for(self)
+        if artifact is None:
+            return self._run_event_horizon(max_cycles, deadlock_window, None)
+        # identical lazy-occupancy bracket to _run_event_horizon: the
+        # generated loop mutates queues with inlined flush bodies against
+        # the same clock cell and load-queue aggregate
+        clock = [self.cycle]
+        load_queues = self.queues.load
+        occ_before = [q.stats.occupancy_sum for q in load_queues]
+        agg = self.queues.begin_lazy_sampling(clock)
+        try:
+            artifact.fn(self, max_cycles, deadlock_window, clock, agg)
+        finally:
+            clock[0] = self.cycle
+            self.queues.end_lazy_sampling(agg)
+            self._occupancy_sum += sum(
+                q.stats.occupancy_sum - before
+                for q, before in zip(load_queues, occ_before)
+            )
+            if agg.max_seen > self._occupancy_max:
+                self._occupancy_max = agg.max_seen
+        return self.collect_result()
 
     def _replay_fast(self, snapshot, count: int) -> None:
         """Closed-form replay for the event-horizon loop: identical to

@@ -2,14 +2,17 @@
 
 Two layers of guarantees:
 
-**Equivalence** — running the same machine (or cluster) under
-``scheduler="naive"``, ``"joint-idle"`` and ``"event-horizon"`` must
-produce bit-identical observables: cycle counts, every stall counter, LOD
-accounting, queue occupancy statistics (samples, sums, maxima, full
-histograms — exercising the lazy event-driven accounting against
-per-cycle sampling), metrics bucket partitions, and the final memory
-image.  Hypothesis drives randomized kernels, latencies, queue depths and
-bank counts through all three loops.
+**Equivalence** — running the same machine (or cluster) under every
+registered scheduler (``"naive"``, ``"joint-idle"``,
+``"event-horizon"`` and the program-specialized ``"codegen"`` backend)
+must produce bit-identical observables: cycle counts, every stall
+counter, LOD accounting, queue occupancy statistics (samples, sums,
+maxima, full histograms — exercising the lazy event-driven accounting
+against per-cycle sampling), metrics bucket partitions, and the final
+memory image.  Hypothesis drives randomized kernels, latencies, queue
+depths and bank counts through all the loops; the comparison iterates
+:data:`SMAMachine.SCHEDULERS`, so a newly registered scheduler is
+covered automatically.
 
 **Contracts** — each component's ``next_event_time(now)`` must name the
 earliest cycle its externally visible state can change with every other
@@ -54,16 +57,19 @@ def _full_observables(machine, result):
 
 def _run_all_schedulers(kernel, inputs, latency, depth, banks,
                         metrics=False):
-    observed = []
+    observed = {}
     for scheduler in SCHEDULERS:
         machine = _machine(kernel, inputs, latency, depth, banks)
         if metrics:
             machine.attach_metrics()
         result = machine.run(scheduler=scheduler)
-        observed.append(_full_observables(machine, result))
-    assert observed[0] == observed[1]
-    assert observed[0] == observed[2]
-    return observed[0]
+        observed[scheduler] = _full_observables(machine, result)
+    reference = next(iter(SCHEDULERS))
+    for scheduler, obs in observed.items():
+        assert obs == observed[reference], (
+            f"{scheduler} disagrees with {reference}"
+        )
+    return observed[reference]
 
 
 # ---------------------------------------------------------------------------
@@ -173,14 +179,17 @@ def test_cluster_schedulers_identical_on_random_mixes(
         get_kernel(name).instantiate(24, seed + j)
         for j, name in enumerate(names)
     ]
-    observed = []
+    observed = {}
     for scheduler in SCHEDULERS:
         cluster = _build_cluster(specs, latency, depth, banks, ports)
         metrics = cluster.attach_metrics()
         result = cluster.run(scheduler=scheduler)
-        observed.append(_cluster_observables(cluster, result, metrics))
-    assert observed[0] == observed[1]
-    assert observed[0] == observed[2]
+        observed[scheduler] = _cluster_observables(cluster, result, metrics)
+    reference = next(iter(SCHEDULERS))
+    for scheduler, obs in observed.items():
+        assert obs == observed[reference], (
+            f"cluster {scheduler} disagrees with {reference}"
+        )
 
 
 def test_cluster_rejects_unknown_scheduler():
