@@ -7,15 +7,17 @@ Usage::
     python scripts/check_bench_floor.py [BENCH_JSON]
 
 Reads ``BENCH_sim_throughput.json`` (default: repo root) as written by
-``benchmarks/bench_sim_throughput.py`` and fails when either measured
+``benchmarks/bench_sim_throughput.py`` and fails when any measured
 smoke ratio falls below its floor: the event-horizon scheduler against
-naive ticking on the low-latency sweep, and the codegen backend against
-the interpreted event-horizon loop on the latency-dominated sweep.  The
-floors live in the JSON itself (``floors.smoke_event_horizon_vs_naive``,
-2x by default, and ``floors.smoke_codegen_vs_event_horizon``, 1.5x —
-both deliberately laxer than the 3x full-benchmark assertions so shared
-CI runners don't flake) so benchmark and gate can never disagree about
-the contract.
+naive ticking on the low-latency sweep, the codegen backend against
+the interpreted event-horizon loop on the latency-dominated sweep, and
+the SoA batch engine against per-point codegen (points/second) on the
+fine sweep grid.  The floors live in the JSON itself
+(``floors.smoke_event_horizon_vs_naive``, 2x by default,
+``floors.smoke_codegen_vs_event_horizon``, 1.5x, and
+``floors.smoke_batch_vs_codegen``, 2x — all deliberately laxer than
+the full-benchmark assertions so shared CI runners don't flake) so
+benchmark and gate can never disagree about the contract.
 
 Exit status is non-zero on a miss, a malformed file, or implausible
 numbers (schedulers disagreeing on simulated cycles), so the workflow
@@ -39,6 +41,11 @@ GATES = (
     ("scheduler", "naive", "event-horizon", "smoke_event_horizon_vs_naive"),
     ("codegen", "event-horizon", "codegen", "smoke_codegen_vs_event_horizon"),
 )
+
+#: floor key for the fine-grid batch sweep (points/s ratio, not seconds:
+#: the two engines cover different point counts — the batch engine runs
+#: the full grid, codegen a stratified subsample)
+BATCH_FLOOR_KEY = "smoke_batch_vs_codegen"
 
 
 def _check_sweep(label: str, sweep: dict) -> list[str]:
@@ -68,6 +75,30 @@ def _check_sweep(label: str, sweep: dict) -> list[str]:
     return problems
 
 
+def _check_batch_sweep(sweep: dict) -> list[str]:
+    """Validate the fine-grid batch section (its shape differs from the
+    scheduler shoot-outs: two engines, point counts, points/s)."""
+    problems: list[str] = []
+    for engine in ("batch", "codegen"):
+        row = sweep.get(engine)
+        if not isinstance(row, dict):
+            problems.append(f"batch: missing engine entry {engine!r}")
+            continue
+        for field in ("points", "seconds", "points_per_sec"):
+            if not isinstance(row.get(field), (int, float)) \
+                    or row[field] <= 0:
+                problems.append(
+                    f"batch: {engine}.{field} missing or non-positive"
+                )
+    grid = sweep.get("grid", {})
+    if not problems and sweep["batch"]["points"] != grid.get("points"):
+        problems.append(
+            "batch: engine did not cover the full grid: "
+            f"{sweep['batch']['points']} != {grid.get('points')}"
+        )
+    return problems
+
+
 def check(path: Path) -> list[str]:
     problems: list[str] = []
     try:
@@ -86,6 +117,11 @@ def check(path: Path) -> list[str]:
             problems.append(f"missing sweep section {label!r}")
             continue
         problems.extend(_check_sweep(label, sweep))
+    batch_sweep = sweeps.get("batch")
+    if not isinstance(batch_sweep, dict):
+        problems.append("missing sweep section 'batch'")
+    else:
+        problems.extend(_check_batch_sweep(batch_sweep))
     if problems:
         return problems
 
@@ -104,6 +140,21 @@ def check(path: Path) -> list[str]:
             problems.append(
                 f"{fast} throughput floor missed: {ratio:.2f}x < "
                 f"{floor}x vs {slow} on the {label} sweep"
+            )
+
+    floor = floors.get(BATCH_FLOOR_KEY)
+    if not isinstance(floor, (int, float)) or floor <= 0:
+        problems.append(f"floors.{BATCH_FLOOR_KEY} missing")
+    else:
+        ratio = (batch_sweep["batch"]["points_per_sec"]
+                 / batch_sweep["codegen"]["points_per_sec"])
+        grid = batch_sweep["grid"]
+        print(f"batch vs codegen: {ratio:.2f}x points/s (floor {floor}x) "
+              f"on the fine grid ({grid['points']} points)")
+        if ratio < floor:
+            problems.append(
+                f"batch throughput floor missed: {ratio:.2f}x < "
+                f"{floor}x vs per-point codegen on the fine grid"
             )
     return problems
 

@@ -1,0 +1,20 @@
+"""Structure-of-arrays batch simulator: thousands of machine configs
+stepped in lockstep with numpy (ROADMAP item 1).
+
+See :mod:`repro.batch.engine` for the execution model and its
+bit-exactness contract, and :mod:`repro.batch.dispatch` for how harness
+jobs are grouped into lanes.
+"""
+
+from .dispatch import batch_eligible, plan_groups, run_batch, run_group
+from .engine import BatchOutcome, LaneEngine, LaneStats
+
+__all__ = [
+    "BatchOutcome",
+    "LaneEngine",
+    "LaneStats",
+    "batch_eligible",
+    "plan_groups",
+    "run_batch",
+    "run_group",
+]

@@ -1,0 +1,174 @@
+"""Route harness jobs through the SoA batch engine.
+
+The batch engine runs *lane groups*: jobs that share everything
+structural (kernel instance, program pair, queue complement, memory
+size) and differ only in timing parameters (latency, bank count, bank
+busy time, queue depths).  This module decides which jobs qualify
+(:func:`batch_eligible`), partitions a job list into maximal lane
+groups (:func:`plan_groups`), and runs a group end to end —
+staging one shared memory image, stepping all lanes in lockstep, and
+assembling per-job result dicts with the exact key set and value types
+of the scalar path (:func:`repro.harness.jobs._run_sma`), so cached
+batch results and cached scalar results are interchangeable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..config import SMAConfig
+from ..harness.jobs import (
+    Job,
+    _check_outputs,
+    _instantiated,
+    _lowered_sma,
+    _metrics_armed,
+)
+from ..harness.runner import _fit_memory
+from .engine import LaneEngine
+
+#: job.machine values the batch engine can execute
+_BATCH_MACHINES = {"sma": True, "sma-nostream": False}
+
+
+def _effective_config(job: Job) -> SMAConfig:
+    return job.sma_config or SMAConfig()
+
+
+def batch_eligible(job: Job) -> bool:
+    """Can this job run as a batch lane bit-identically?
+
+    The engine models the default timing envelope — one memory port,
+    one stream issue per cycle, fault-free memory — and produces plain
+    result dicts, so jobs needing the metrics capture layer stay on the
+    scalar path.
+    """
+    if job.machine not in _BATCH_MACHINES:
+        return False
+    cfg = _effective_config(job)
+    if cfg.faults is not None:
+        return False
+    if cfg.memory.accepts_per_cycle != 1:
+        return False
+    if cfg.stream_issue_per_cycle != 1:
+        return False
+    if _metrics_armed():
+        return False
+    return True
+
+
+def _group_key(job: Job) -> tuple:
+    """Jobs with equal keys may share one lane group: same decoded
+    program pair, queue-id layout, and staged memory image."""
+    cfg = _effective_config(job)
+    return (
+        job.machine,
+        job.kernel,
+        job.n,
+        job.seed,
+        cfg.max_streams,
+        cfg.num_load_queues,
+        cfg.num_store_queues,
+        cfg.num_index_queues,
+        cfg.memory.size,
+    )
+
+
+def plan_groups(jobs: list[Job]) -> list[list[int]]:
+    """Partition eligible job indices into lane groups (index lists into
+    ``jobs``); callers run ineligible jobs through the scalar path."""
+    groups: dict[tuple, list[int]] = {}
+    for i, job in enumerate(jobs):
+        if batch_eligible(job):
+            groups.setdefault(_group_key(job), []).append(i)
+    return list(groups.values())
+
+
+def run_group(jobs: list[Job]) -> list[dict]:
+    """Run one lane group (all jobs must share a group key); returns one
+    result dict per job, aligned with the input order."""
+    first = jobs[0]
+    use_streams = _BATCH_MACHINES[first.machine]
+    kernel, inputs = _instantiated(first.kernel, first.n, first.seed)
+    lowered = _lowered_sma(
+        first.kernel, first.n, first.seed, use_streams
+    )
+    layout = lowered.layout
+
+    configs = []
+    for job in jobs:
+        cfg = _effective_config(job)
+        configs.append(
+            cfg.__class__(
+                **{
+                    **cfg.__dict__,
+                    "memory": _fit_memory(cfg.memory, layout),
+                }
+            )
+        )
+    msize = configs[0].memory.size
+
+    # stage the shared memory image exactly the way SMAMachine +
+    # _load_inputs build it: zeros, program data segments, input
+    # arrays.  Only the prefix the kernel touches is materialized
+    # (the logical size stays msize; the engine grows lanes on demand
+    # if a program ever addresses past the staged footprint).
+    touched = layout.end + 16
+    for program in (lowered.access_program, lowered.execute_program):
+        for base, values in program.data:
+            touched = max(touched, base + len(values))
+    image = np.zeros(min(touched, msize), dtype=np.float64)
+    for program in (lowered.access_program, lowered.execute_program):
+        for base, values in program.data:
+            image[base : base + len(values)] = np.asarray(
+                values, dtype=np.float64
+            )
+    for decl in kernel.arrays:
+        arr = np.asarray(inputs[decl.name], dtype=np.float64)
+        base = layout.base(decl.name)
+        image[base : base + arr.shape[0]] = arr
+
+    engine = LaneEngine(
+        lowered.access_program,
+        lowered.execute_program,
+        configs,
+        image,
+        logical_size=msize,
+    )
+    outcome = engine.run()
+
+    machine_name = "sma" if lowered.uses_streams else "sma-nostream"
+    info = lowered.info
+    static = {
+        "load_streams": info.load_streams,
+        "store_streams": info.store_streams,
+        "gather_streams": info.gather_streams,
+        "scatter_streams": info.scatter_streams,
+        "carried_refs": info.carried_refs,
+        "computed_refs": info.computed_refs,
+    }
+    results = []
+    for i, job in enumerate(jobs):
+        if job.check:
+            outputs = {
+                decl.name: outcome.dump_array(
+                    i, layout.base(decl.name), decl.size
+                )
+                for decl in kernel.arrays
+            }
+            _check_outputs(job, machine_name, outputs)
+        results.append({**outcome.stats.lane_dict(i), **static})
+    return results
+
+
+def run_batch(jobs: list[Job]) -> dict[int, dict]:
+    """Run every eligible job in ``jobs`` through the batch engine.
+
+    Returns ``{index: result_dict}`` for the jobs that ran; indices not
+    in the mapping were ineligible and belong on the scalar path.
+    """
+    out: dict[int, dict] = {}
+    for group in plan_groups(jobs):
+        for idx, res in zip(group, run_group([jobs[i] for i in group])):
+            out[idx] = res
+    return out

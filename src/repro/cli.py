@@ -32,7 +32,17 @@ Commands
     uncached jobs re-execute).  ``--inject-fault MODE[:VALUE]``
     exercises the recovery paths on purpose (see
     ``repro.harness.faults``); CI uses it to prove kill-resume and
-    corrupt-cache quarantine actually work.
+    corrupt-cache quarantine actually work.  ``--backend batch`` steps
+    the sweep's eligible SMA jobs in lockstep through the SoA batch
+    engine (``repro.batch``) — bit-identical results, cached under the
+    same keys.
+
+``batch KERNEL``
+    Dense (latency × queue-depth × bank-count) sweep of one kernel
+    through the batch engine: thousands of timing configurations as
+    numpy lanes in one process.  Grid axes take comma-separated values
+    and inclusive ``LO-HI`` ranges (``--latencies 1,2,4-8``); output is
+    one CSV row per grid point, with a points/second summary on stderr.
 
 ``checkpoint save/load``
     Mid-run machine checkpoints.  ``save`` runs a kernel for
@@ -90,6 +100,7 @@ import sys
 import numpy as np
 
 from .config import MemoryConfig, QueueConfig, ScalarConfig, SMAConfig
+from .errors import KernelError
 from .harness import EXPERIMENTS, compare_spec, run_experiment
 from .harness.plot import render_plot
 from .kernels import (
@@ -213,6 +224,7 @@ def cmd_experiment(args) -> int:
 
 
 def cmd_sweep(args) -> int:
+    import inspect
     from pathlib import Path
 
     from .harness import harness_policy
@@ -223,6 +235,14 @@ def cmd_sweep(args) -> int:
         print(f"unknown experiment {args.id!r}; "
               f"known: {sorted(EXPERIMENTS)}", file=sys.stderr)
         return 2
+    backend_kwargs = {}
+    if args.backend != "scalar":
+        fn = EXPERIMENTS[experiment_id]
+        if "backend" in inspect.signature(fn).parameters:
+            backend_kwargs["backend"] = args.backend
+        else:
+            print(f"{experiment_id} has no dense SMA sweep; "
+                  f"ignoring --backend {args.backend}", file=sys.stderr)
     cache = Path(args.cache)
     cached_entries = list(cache.glob("*.json")) if cache.is_dir() else []
     if cached_entries and not args.resume:
@@ -244,7 +264,7 @@ def cmd_sweep(args) -> int:
             print(str(exc), file=sys.stderr)
             return 2
 
-    kwargs = {"cache_dir": str(cache)}
+    kwargs = {"cache_dir": str(cache), **backend_kwargs}
     if args.jobs != 1:
         kwargs["jobs"] = args.jobs
     if args.n is not None:
@@ -258,6 +278,72 @@ def cmd_sweep(args) -> int:
     else:
         print(table.to_text())
     print(f"\nsweep {experiment_id}: {stats.summary()}", file=sys.stderr)
+    return 0
+
+
+def _parse_axis(spec: str) -> tuple[int, ...]:
+    """Parse one grid axis: comma-separated positive ints and inclusive
+    ``LO-HI`` ranges, e.g. ``"1,2,4-8,16"``."""
+    values: list[int] = []
+    for item in spec.split(","):
+        item = item.strip()
+        lo, dash, hi = item.partition("-")
+        try:
+            if dash:
+                start, stop = int(lo), int(hi)
+                if start > stop:
+                    raise ValueError
+                values.extend(range(start, stop + 1))
+            else:
+                values.append(int(item))
+        except ValueError:
+            raise ValueError(
+                f"bad grid axis item {item!r}; expected an int or LO-HI"
+            ) from None
+    if any(v < 1 for v in values):
+        raise ValueError(f"grid axis values must be >= 1: {spec!r}")
+    return tuple(values)
+
+
+def cmd_batch(args) -> int:
+    import time
+
+    from .harness import harness_policy
+    from .harness.jobs import BatchJob
+    from .harness.parallel import run_jobs
+
+    try:
+        get_kernel(args.kernel)  # fail fast on an unknown kernel name
+        batch_job = BatchJob(
+            args.kernel, args.n, args.seed, machine=args.machine,
+            latencies=_parse_axis(args.latencies),
+            queue_depths=_parse_axis(args.queue_depths),
+            bank_counts=_parse_axis(args.banks),
+            check=args.check,
+        )
+    except (KeyError, ValueError, KernelError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    jobs = batch_job.expand()
+    start = time.perf_counter()
+    with harness_policy() as stats:
+        results = run_jobs(jobs, cache_dir=args.cache, backend="batch")
+    wall = time.perf_counter() - start
+    print("latency,queue_depth,banks,cycles,memory_reads,memory_writes,"
+          "mean_outstanding_loads")
+    i = 0
+    for latency in batch_job.latencies:
+        for depth in batch_job.queue_depths:
+            for banks in batch_job.bank_counts:
+                res = results[i]
+                print(f"{latency},{depth},{banks},{res['cycles']},"
+                      f"{res['memory_reads']},{res['memory_writes']},"
+                      f"{res['mean_outstanding_loads']:.4f}")
+                i += 1
+    rate = len(jobs) / wall if wall > 0 else float("inf")
+    print(f"batch {args.kernel} (n={batch_job.n}): {len(jobs)} grid "
+          f"point(s) in {wall:.2f}s ({rate:.0f} points/s); "
+          f"{stats.summary()}", file=sys.stderr)
     return 0
 
 
@@ -663,6 +749,36 @@ def build_parser() -> argparse.ArgumentParser:
                               "driver-kill:k, sleep:s")
     p_sweep.add_argument("--csv", action="store_true",
                          help="emit CSV instead of the aligned table")
+    p_sweep.add_argument("--backend", default="scalar",
+                         choices=["scalar", "batch"],
+                         help="run eligible SMA jobs through the SoA "
+                              "batch engine (bit-identical, much faster "
+                              "on dense grids)")
+
+    p_batch = sub.add_parser(
+        "batch",
+        help="dense latency × queue-depth × bank-count sweep of one "
+             "kernel through the SoA batch engine",
+    )
+    p_batch.add_argument("kernel")
+    p_batch.add_argument("--n", type=int, default=64)
+    p_batch.add_argument("--seed", type=int, default=12345)
+    p_batch.add_argument("--machine", default="sma",
+                         choices=["sma", "sma-nostream"])
+    p_batch.add_argument("--latencies", default="1,2,4,8,16,32,64",
+                         metavar="AXIS",
+                         help="comma-separated ints / LO-HI ranges "
+                              "(default '1,2,4,8,16,32,64')")
+    p_batch.add_argument("--queue-depths", default="8", metavar="AXIS",
+                         help="queue-depth axis (default '8')")
+    p_batch.add_argument("--banks", default="8", metavar="AXIS",
+                         help="bank-count axis (default '8')")
+    p_batch.add_argument("--check", action="store_true",
+                         help="verify every lane word-exact against the "
+                              "reference interpreter")
+    p_batch.add_argument("--cache", default=None, metavar="DIR",
+                         help="flush per-point results under DIR (same "
+                              "keys as the scalar path)")
 
     p_ckpt = sub.add_parser(
         "checkpoint",
@@ -770,6 +886,7 @@ _COMMANDS = {
     "compile": cmd_compile,
     "experiment": cmd_experiment,
     "sweep": cmd_sweep,
+    "batch": cmd_batch,
     "checkpoint": cmd_checkpoint,
     "report": cmd_report,
     "timeline": cmd_timeline,

@@ -12,7 +12,10 @@ over worker processes and/or an on-disk result cache — the ``jobs=`` and
 ``cache_dir=`` keywords every experiment accepts), then *assembles* the
 table from the returned measurement dicts.  With the defaults
 (``jobs=1``, no cache) everything runs serially in-process, so results
-are deterministic for CI.
+are deterministic for CI.  Experiments dominated by dense SMA sweeps
+also take ``backend="batch"``, which steps all eligible grid points in
+lockstep through :mod:`repro.batch` — bit-identical results, a fraction
+of the cost.
 
 Identifiers:
 
@@ -91,7 +94,8 @@ def _configs(
 
 
 def table1_mix(
-    n: int = 256, jobs: int = 1, cache_dir: str | None = None
+    n: int = 256, jobs: int = 1, cache_dir: str | None = None,
+    backend: str = "scalar",
 ) -> Table:
     """Instruction mix per kernel: how the SMA split redistributes work.
 
@@ -113,7 +117,9 @@ def table1_mix(
             Job("scalar", spec.name, n, scalar_config=scalar_cfg)
         )
         joblist.append(Job("sma", spec.name, n, sma_config=sma_cfg))
-    results = run_jobs(joblist, workers=jobs, cache_dir=cache_dir)
+    results = run_jobs(
+        joblist, workers=jobs, cache_dir=cache_dir, backend=backend
+    )
     for spec, scalar, sma in zip(specs, results[::2], results[1::2]):
         t.add_row(
             spec.name,
@@ -140,6 +146,7 @@ def table1_mix(
 def table2_speedup(
     n: int = 256, latency: int = 8,
     jobs: int = 1, cache_dir: str | None = None,
+    backend: str = "scalar",
 ) -> Table:
     """SMA vs scalar baseline over the whole suite (the headline result)."""
     t = Table(
@@ -158,7 +165,9 @@ def table2_speedup(
         joblist.append(
             Job("sma", spec.name, n, sma_config=sma_cfg, check=True)
         )
-    results = run_jobs(joblist, workers=jobs, cache_dir=cache_dir)
+    results = run_jobs(
+        joblist, workers=jobs, cache_dir=cache_dir, backend=backend
+    )
     for spec, scalar, sma in zip(specs, results[::2], results[1::2]):
         t.add_row(
             spec.name,
@@ -389,6 +398,7 @@ def fig1_latency(
     latencies: Sequence[int] = (1, 2, 4, 8, 16, 32),
     kernels: Sequence[str] = LATENCY_REPS,
     jobs: int = 1, cache_dir: str | None = None,
+    backend: str = "scalar",
 ) -> Table:
     """Speedup vs memory latency: the decoupled machine's latency
     tolerance is the paper's central claim — speedup *grows* with latency
@@ -408,7 +418,9 @@ def fig1_latency(
             joblist.append(
                 Job("scalar", name, n, scalar_config=scalar_cfg, check=True)
             )
-    results = run_jobs(joblist, workers=jobs, cache_dir=cache_dir)
+    results = run_jobs(
+        joblist, workers=jobs, cache_dir=cache_dir, backend=backend
+    )
     stride = 2 * len(kernels)  # jobs per latency point
     for i, latency in enumerate(latencies):
         point = results[i * stride:(i + 1) * stride]
@@ -431,6 +443,7 @@ def fig2_queue_depth(
     kernels: Sequence[str] = STREAMING_REPS,
     latency: int = 8,
     jobs: int = 1, cache_dir: str | None = None,
+    backend: str = "scalar",
 ) -> Table:
     """SMA cycles vs architectural queue depth: a handful of entries
     (≈ memory latency) buys nearly all of the decoupling."""
@@ -444,7 +457,9 @@ def fig2_queue_depth(
         sma_cfg, _ = _configs(latency=latency, queue_depth=depth)
         for name in kernels:
             joblist.append(Job("sma", name, n, sma_config=sma_cfg))
-    results = run_jobs(joblist, workers=jobs, cache_dir=cache_dir)
+    results = run_jobs(
+        joblist, workers=jobs, cache_dir=cache_dir, backend=backend
+    )
     width = len(kernels)
     for i, depth in enumerate(depths):
         point = results[i * width:(i + 1) * width]
@@ -495,6 +510,7 @@ def fig4_banks(
     kernels: Sequence[str] = BANK_REPS,
     latency: int = 8,
     jobs: int = 1, cache_dir: str | None = None,
+    backend: str = "scalar",
 ) -> Table:
     """Words per cycle vs interleaving degree, for strides 1/2/5/8: the
     stride-vs-banks aliasing structure is the classic interleave result."""
@@ -508,7 +524,9 @@ def fig4_banks(
         sma_cfg, _ = _configs(latency=latency, banks=nb)
         for name in kernels:
             joblist.append(Job("sma", name, n, sma_config=sma_cfg))
-    results = run_jobs(joblist, workers=jobs, cache_dir=cache_dir)
+    results = run_jobs(
+        joblist, workers=jobs, cache_dir=cache_dir, backend=backend
+    )
     width = len(kernels)
     for i, nb in enumerate(banks):
         point = results[i * width:(i + 1) * width]
@@ -531,6 +549,7 @@ def fig4_banks(
 def fig5_ablation(
     n: int = 256, kernels: Sequence[str] = ABLATION_REPS,
     jobs: int = 1, cache_dir: str | None = None,
+    backend: str = "scalar",
 ) -> Table:
     """Structured descriptors ON vs OFF (per-element DAE): the access
     processor's instruction bandwidth becomes the bottleneck without
@@ -546,7 +565,9 @@ def fig5_ablation(
     for name in kernels:
         joblist.append(Job("sma", name, n, sma_config=sma_cfg))
         joblist.append(Job("sma-nostream", name, n, sma_config=sma_cfg))
-    results = run_jobs(joblist, workers=jobs, cache_dir=cache_dir)
+    results = run_jobs(
+        joblist, workers=jobs, cache_dir=cache_dir, backend=backend
+    )
     for name, stream, elem in zip(kernels, results[::2], results[1::2]):
         t.add_row(
             name,

@@ -14,12 +14,13 @@ its input arrays once, and computes its reference outputs once.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import numbers
+from dataclasses import dataclass, fields, is_dataclass
 from functools import lru_cache
 
 import numpy as np
 
-from ..config import MemoryConfig, ScalarConfig, SMAConfig
+from ..config import MemoryConfig, QueueConfig, ScalarConfig, SMAConfig
 from ..kernels import get_kernel, lower_scalar, lower_sma, run_reference
 
 #: machine kinds a job can target
@@ -33,13 +34,48 @@ MACHINES = (
 )
 
 
+def _canonical(value):
+    """Convert numpy scalars (and anything nested inside frozen config
+    dataclasses or tuples) to their builtin equivalents.
+
+    ``repr(np.int64(256))`` is ``"np.int64(256)"``, not ``"256"``, so a
+    grid built from ``np.arange`` used to produce cache keys that never
+    matched the same sweep written with literals.  Canonicalizing at job
+    construction makes ``repr(job)`` — and therefore
+    :func:`repro.harness.parallel.job_key` — independent of the numeric
+    types the caller happened to use.
+    """
+    if value is None or isinstance(value, (str, bytes, bool)):
+        return value
+    if is_dataclass(value) and not isinstance(value, type):
+        converted = {
+            f.name: _canonical(getattr(value, f.name))
+            for f in fields(value)
+        }
+        if all(
+            converted[f.name] is getattr(value, f.name)
+            for f in fields(value)
+        ):
+            return value
+        return value.__class__(**converted)
+    if isinstance(value, numbers.Integral):
+        return int(value)
+    if isinstance(value, numbers.Real):
+        return float(value)
+    if isinstance(value, tuple):
+        return tuple(_canonical(v) for v in value)
+    return value
+
+
 @dataclass(frozen=True)
 class Job:
     """One simulation to run.
 
     Frozen and built from frozen config dataclasses, so a job is hashable,
     picklable (for the process pool) and has a stable ``repr`` (for the
-    on-disk result cache key).
+    on-disk result cache key).  Field values are canonicalized to builtin
+    types on construction so the repr does not depend on whether a sweep
+    passed ``256`` or ``np.int64(256)``.
     """
 
     machine: str
@@ -57,10 +93,85 @@ class Job:
     buckets: int = 32
 
     def __post_init__(self):
+        for f in fields(self):
+            value = getattr(self, f.name)
+            canonical = _canonical(value)
+            if canonical is not value:
+                object.__setattr__(self, f.name, canonical)
         if self.machine not in MACHINES:
             raise ValueError(
                 f"unknown job machine {self.machine!r}; known: {MACHINES}"
             )
+
+
+#: machine kinds the batch engine can execute
+BATCH_MACHINES = ("sma", "sma-nostream")
+
+
+@dataclass(frozen=True)
+class BatchJob:
+    """A dense (latency × queue-depth × bank-count) sweep of one kernel,
+    destined for the SoA batch engine.
+
+    :meth:`expand` turns the grid into ordinary :class:`Job` rows using
+    the experiments' configuration convention (``bank_busy =
+    max(1, latency // 2)``; the four main queue depths swept together,
+    EP→AP queues at their defaults), so the expansion can run through any
+    backend — every grid point is a first-class cacheable job.
+    """
+
+    kernel: str
+    n: int | None = None
+    seed: int = 12345
+    machine: str = "sma"
+    latencies: tuple[int, ...] = (8,)
+    queue_depths: tuple[int, ...] = (8,)
+    bank_counts: tuple[int, ...] = (8,)
+    check: bool = False
+
+    def __post_init__(self):
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if isinstance(value, (list, tuple, np.ndarray)):
+                value = tuple(value)
+            canonical = _canonical(value)
+            if canonical is not value:
+                object.__setattr__(self, f.name, canonical)
+        if self.machine not in BATCH_MACHINES:
+            raise ValueError(
+                f"batch jobs target {BATCH_MACHINES}, "
+                f"not {self.machine!r}"
+            )
+        for name in ("latencies", "queue_depths", "bank_counts"):
+            if not getattr(self, name):
+                raise ValueError(f"batch job {name} must be non-empty")
+
+    def expand(self) -> list[Job]:
+        """One :class:`Job` per grid point, latency-major order."""
+        out = []
+        for latency in self.latencies:
+            for depth in self.queue_depths:
+                for banks in self.bank_counts:
+                    cfg = SMAConfig(
+                        memory=MemoryConfig(
+                            latency=latency,
+                            bank_busy=max(1, latency // 2),
+                            num_banks=banks,
+                        ),
+                        queues=QueueConfig(
+                            load_queue_depth=depth,
+                            store_data_depth=depth,
+                            store_addr_depth=depth,
+                            index_queue_depth=depth,
+                        ),
+                    )
+                    out.append(
+                        Job(
+                            self.machine, self.kernel, self.n, self.seed,
+                            sma_config=cfg, check=self.check,
+                        )
+                    )
+        return out
 
 
 # -- per-process memoization -------------------------------------------------

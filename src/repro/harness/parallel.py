@@ -46,7 +46,6 @@ import time
 from collections import deque
 from contextlib import contextmanager
 from dataclasses import dataclass, field, replace
-from functools import lru_cache
 from pathlib import Path
 from typing import Optional, Sequence
 
@@ -96,8 +95,11 @@ class HarnessPolicy:
     timeout: float | None = None
     #: how many times a failed or timed-out job is re-executed.
     retries: int = 0
-    #: base of the exponential retry backoff (seconds); attempt ``k``
-    #: sleeps ``backoff * 2**k``.
+    #: base of the exponential retry backoff (seconds); retry ``k`` of a
+    #: job is held back ``backoff * 2**(k-1)`` before resubmission.  In
+    #: pool mode the delay is a per-job not-before timestamp, never a
+    #: sleep, so deadline polling keeps its cadence while a job backs
+    #: off.
     backoff: float = 0.25
     #: fault to inject (see :mod:`repro.harness.faults`).
     inject: FaultSpec | None = None
@@ -133,17 +135,39 @@ def harness_policy(**kwargs):
         set_policy(previous)
 
 
-@lru_cache(maxsize=1)
-def code_fingerprint() -> str:
+_FINGERPRINT: str | None = None
+
+
+def code_fingerprint(refresh: bool = False) -> str:
     """sha256 over every Python source under ``src/repro`` (sorted paths),
-    identifying the simulator version for the result cache."""
-    digest = hashlib.sha256()
-    for path in sorted(_SRC_ROOT.rglob("*.py")):
-        digest.update(str(path.relative_to(_SRC_ROOT)).encode())
-        digest.update(b"\0")
-        digest.update(path.read_bytes())
-        digest.update(b"\0")
-    return digest.hexdigest()
+    identifying the simulator version for the result cache.
+
+    Computed once per process and cached; ``refresh=True`` forces a
+    rescan (long-lived drivers call this after sources change — the old
+    ``lru_cache`` could never be refreshed, so such drivers kept writing
+    cache entries under a stale key).  Pool workers never compute it at
+    all: the driver seeds their cache through the pool initializer
+    (:func:`_pool_init`).
+    """
+    global _FINGERPRINT
+    if _FINGERPRINT is None or refresh:
+        digest = hashlib.sha256()
+        for path in sorted(_SRC_ROOT.rglob("*.py")):
+            digest.update(str(path.relative_to(_SRC_ROOT)).encode())
+            digest.update(b"\0")
+            digest.update(path.read_bytes())
+            digest.update(b"\0")
+        _FINGERPRINT = digest.hexdigest()
+    return _FINGERPRINT
+
+
+def _pool_init(inject: FaultSpec | None, fingerprint: str) -> None:
+    """Worker-process initializer: arm fault injection and seed the
+    code-fingerprint cache with the driver's value, so workers skip the
+    full source rescan (and always agree with the driver's keys)."""
+    global _FINGERPRINT
+    _FINGERPRINT = fingerprint
+    faults.install(inject)
 
 
 def job_key(job: Job) -> str:
@@ -212,6 +236,7 @@ def run_jobs(
     workers: int = 1,
     cache_dir: str | Path | None = None,
     *,
+    backend: str = "scalar",
     timeout: float | None = None,
     retries: int | None = None,
     backoff: float | None = None,
@@ -225,11 +250,22 @@ def run_jobs(
     whole sweep.  ``cache_dir``, when given, persists each result as JSON
     keyed by (code fingerprint, job) and reuses hits on later runs.
 
+    ``backend="batch"`` routes eligible uncached jobs (see
+    :func:`repro.batch.batch_eligible`) through the SoA batch engine in
+    the driver process — thousands of timing configurations stepped in
+    lockstep — and only the remainder through the scalar path.  Batch
+    results are flushed under the same :func:`job_key`, so a cached batch
+    sweep and a cached scalar sweep are interchangeable.
+
     The keyword-only robustness knobs default to the ambient
     :class:`HarnessPolicy` (see :func:`harness_policy` /
     :func:`set_policy`); genuine job exceptions propagate unchanged once
     the retry budget is exhausted.
     """
+    if backend not in ("scalar", "batch"):
+        raise ValueError(
+            f"unknown backend {backend!r}; known: 'scalar', 'batch'"
+        )
     policy = _POLICY
     timeout = policy.timeout if timeout is None else timeout
     retries = policy.retries if retries is None else retries
@@ -262,6 +298,22 @@ def run_jobs(
                 pending.append(i)
     else:
         pending = list(range(len(jobs)))
+
+    if pending and backend == "batch" and inject is None:
+        from ..batch import run_batch
+
+        ran = run_batch([jobs[i] for i in pending])
+        leftover = []
+        for pos, i in enumerate(pending):
+            result = ran.get(pos)
+            if result is None:
+                leftover.append(i)
+                continue
+            results[i] = result
+            stats.executed += 1
+            if cache is not None:
+                _flush(cache, job_key(jobs[i]), result, stats, inject)
+        pending = leftover
 
     if pending:
         if workers > 1:
@@ -332,12 +384,18 @@ def _run_pool(
     def new_pool():
         return ProcessPoolExecutor(
             max_workers=workers,
-            initializer=faults.install,
-            initargs=(inject,),
+            initializer=_pool_init,
+            initargs=(inject, code_fingerprint()),
         )
 
     queue = deque(pending)
     attempts = dict.fromkeys(pending, 0)
+    #: earliest monotonic time a charged job may be resubmitted — the
+    #: retry backoff lives here, at submit time, instead of a sleep in
+    #: the completed-future loop (which stalled the _DEADLINE_POLL
+    #: cadence and let unrelated in-flight jobs blow their deadlines
+    #: unobserved)
+    not_before = dict.fromkeys(pending, 0.0)
     pool = new_pool()
     inflight: dict = {}  # future -> (job index, deadline or None)
 
@@ -358,16 +416,23 @@ def _run_pool(
         _LOG.warning(
             "job %d %s; retry %d/%d", i, why, attempts[i], retries
         )
+        if backoff:
+            not_before[i] = (
+                time.monotonic() + backoff * (2 ** (attempts[i] - 1))
+            )
         queue.append(i)
 
     try:
         while queue or inflight:
-            while queue and len(inflight) < workers:
+            now = time.monotonic()
+            for _ in range(len(queue)):
+                if len(inflight) >= workers:
+                    break
                 i = queue.popleft()
-                deadline = (
-                    time.monotonic() + timeout
-                    if timeout is not None else None
-                )
+                if not_before[i] > now:
+                    queue.append(i)  # still backing off: rotate past it
+                    continue
+                deadline = now + timeout if timeout is not None else None
                 try:
                     future = pool.submit(run_job, jobs[i])
                 except BrokenProcessPool:
@@ -383,10 +448,22 @@ def _run_pool(
                     continue
                 inflight[future] = (i, deadline)
             if not inflight:
+                if queue:
+                    # everything queued is backing off; sleep until the
+                    # earliest becomes eligible instead of spinning
+                    wake = min(not_before[i] for i in queue)
+                    time.sleep(max(0.0, wake - time.monotonic()))
                 continue
+            poll = _DEADLINE_POLL if timeout is not None else None
+            if queue and len(inflight) < workers:
+                # a queued job is only held back by its backoff window;
+                # wake when the earliest becomes submittable
+                wake = min(not_before[i] for i in queue)
+                delay = max(0.0, wake - time.monotonic())
+                poll = delay if poll is None else min(poll, delay)
             done, _ = wait(
                 list(inflight),
-                timeout=_DEADLINE_POLL if timeout is not None else None,
+                timeout=poll,
                 return_when=FIRST_COMPLETED,
             )
             broken = None
@@ -406,10 +483,6 @@ def _run_pool(
                     charge(i, "lost to a crashed worker", exc)
                 else:
                     charge(i, f"raised {type(exc).__name__}", exc)
-                    if backoff:
-                        time.sleep(
-                            backoff * (2 ** (attempts[i] - 1))
-                        )
             if broken is not None or getattr(pool, "_broken", False):
                 # every other in-flight job is collateral: requeue
                 # without charging a retry

@@ -8,11 +8,14 @@ either path.
 """
 
 import json
+import time
 
+import numpy as np
 import pytest
 
 from repro.config import MemoryConfig, QueueConfig, ScalarConfig, SMAConfig
 from repro.harness import experiments as exp
+from repro.harness import parallel
 from repro.harness.jobs import Job, run_job
 from repro.harness.parallel import code_fingerprint, job_key, run_jobs
 
@@ -115,6 +118,76 @@ class TestRunJobs:
         # same job, same code -> same key (stable across calls)
         assert key == job_key(Job("sma", "daxpy", 32, sma_config=SMA_CFG))
         assert len(code_fingerprint()) == 64  # sha256 hex over src/repro
+
+
+class TestHarnessRegressions:
+    def test_job_key_canonicalizes_numpy_scalars(self):
+        # a sweep built from np.arange axes must hit the same cache
+        # entries as one built from builtin ints
+        base = Job(
+            "sma", "daxpy", 32, seed=7,
+            sma_config=SMAConfig(
+                memory=MemoryConfig(latency=8, num_banks=8)
+            ),
+        )
+        numpyish = Job(
+            "sma", "daxpy", np.int64(32), seed=np.int64(7),
+            sma_config=SMAConfig(
+                memory=MemoryConfig(
+                    latency=np.int64(8), num_banks=np.int32(8)
+                )
+            ),
+        )
+        assert isinstance(numpyish.n, int)
+        assert type(numpyish.sma_config.memory.latency) is int
+        assert repr(numpyish) == repr(base)
+        assert job_key(numpyish) == job_key(base)
+
+    def test_fingerprint_cached_seedable_and_refreshable(self):
+        original = code_fingerprint()
+        try:
+            # what the pool initializer does: seed the worker's cache
+            # with the driver's value instead of rescanning src/repro
+            parallel._pool_init(None, "f" * 64)
+            assert code_fingerprint() == "f" * 64
+            # a long-lived driver can force a rescan (the old lru_cache
+            # could not be invalidated)
+            assert code_fingerprint(refresh=True) == original
+        finally:
+            parallel._FINGERPRINT = original
+
+    def test_pool_backoff_does_not_stall_other_jobs(self, tmp_path):
+        # one poison job whose retry backs off for `backoff` seconds,
+        # plus good jobs queued behind it: the good jobs' results must
+        # land (flush to the cache) while the poison job is backing
+        # off, not after.  The old harness slept the backoff inside the
+        # completed-future loop, freezing submission and deadline
+        # polling for every other job.
+        backoff = 2.5
+        jobs = [
+            Job("sma", "no-such-kernel", 16),
+            Job("sma", "daxpy", 16, sma_config=SMA_CFG),
+            Job("scalar", "daxpy", 16, scalar_config=SCALAR_CFG),
+            Job("vector", "daxpy", 16),
+        ]
+        from repro.errors import KernelError
+
+        start = time.time()
+        with pytest.raises(KernelError):
+            run_jobs(
+                jobs, workers=2, cache_dir=tmp_path,
+                retries=1, backoff=backoff,
+            )
+        elapsed = time.time() - start
+        flushed = list(tmp_path.glob("*.json"))
+        assert len(flushed) == 3  # every good job landed
+        latest = max(p.stat().st_mtime for p in flushed)
+        assert latest - start < backoff - 0.5, (
+            "good jobs flushed only after the poison job's backoff "
+            "window — the driver slept instead of resubmitting"
+        )
+        # and the backoff itself was honored before the final attempt
+        assert elapsed >= backoff
 
 
 class TestExperimentsThroughJobs:
