@@ -18,8 +18,9 @@ import sys
 
 from repro.harness.experiments import EXPERIMENTS
 
-ORDER = ["R-T1", "R-T2", "R-T3", "R-T4", "R-T5", "R-T6",
-         "R-F1", "R-F2", "R-F3", "R-F4", "R-F5", "R-F6", "R-F7", "R-F8"]
+ORDER = ["R-T1", "R-T2", "R-T3", "R-T4", "R-T5", "R-T6", "R-T7",
+         "R-F1", "R-F2", "R-F3", "R-F4", "R-F5", "R-F6", "R-F7", "R-F8",
+         "R-F9"]
 
 TITLES = {
     "R-T1": "Kernel characterization (instruction mix)",
@@ -28,6 +29,7 @@ TITLES = {
     "R-T4": "Loss-of-decoupling accounting",
     "R-T5": "SMA vs hardware prefetching (extension)",
     "R-T6": "SMA vs vector machine (extension)",
+    "R-T7": "Speculative AP vs prediction accuracy (extension)",
     "R-F1": "Speedup vs memory latency",
     "R-F2": "Cycles vs queue depth",
     "R-F3": "Run-ahead (slip) per kernel",
@@ -36,17 +38,20 @@ TITLES = {
     "R-F6": "Queue occupancy over time",
     "R-F7": "Memory-port width ablation (extension)",
     "R-F8": "Multiprocessor interference (extension)",
+    "R-F9": "Speculation run-ahead depth sweep (extension)",
 }
 
 BENCH = {
     "R-T1": "bench_table1_mix.py", "R-T2": "bench_table2_speedup.py",
     "R-T3": "bench_table3_cache.py", "R-T4": "bench_table4_lod.py",
     "R-T5": "bench_table5_prefetch.py", "R-T6": "bench_table6_vector.py",
+    "R-T7": "bench_table7_speculation.py",
     "R-F1": "bench_fig1_latency.py",
     "R-F2": "bench_fig2_queue.py", "R-F3": "bench_fig3_slip.py",
     "R-F4": "bench_fig4_banks.py", "R-F5": "bench_fig5_ablation.py",
     "R-F6": "bench_fig6_occupancy.py", "R-F7": "bench_fig7_ports.py",
     "R-F8": "bench_fig8_multiprocessor.py",
+    "R-F9": "bench_fig9_spec_depth.py",
 }
 
 
@@ -215,6 +220,42 @@ gathers, scatters, computed subscripts — the SMA is
 {tri_ratio:.1f}×-or-more *faster*. Rejection reasons are printed verbatim
 in the table."""
 
+    if eid == "R-T7":
+        rows = [r for r in t.rows if r[0] == "pic_gather"]
+        base, best = rows[0], rows[-1]
+        spd = cols.index("recovered_speedup")
+        lodc = cols.index("lod_stall_cycles")
+        return f"""**Motivation:** R-T4 shows decoupling collapsing wherever the AP waits
+on an EP-computed address or branch. This extension asks how much of the
+lost speedup a *speculative* access processor recovers: a value predictor
+answers the EAQ/EBQ wait immediately, the AP runs ahead with its memory
+traffic poison-tagged, and a misprediction rolls the AP (and every
+speculative queue slot and in-flight request) back, charged to a
+`misspeculation` stall bucket. The two rows use deliberately
+LOD-collapsed lowerings of otherwise-structured kernels (`addr`: gather
+indices round-trip through the EP; `branch`: the AP's loop trip count is
+execute-resolved).
+
+**Measured:** recovered speedup is monotone in predictor accuracy —
+`pic_gather` goes from {base[spd]:.1f}× (speculation off,
+{base[lodc]} LOD stall cycles) to {best[spd]:.2f}× at accuracy 1.0 with
+{best[lodc]} LOD stall cycles left. Accuracy 0 is bit-identical to no
+speculation at all, and every row (rollbacks included) is word-exact
+against the reference — speculation changes timing, never values."""
+
+    if eid == "R-F9":
+        rows = [r for r in t.rows if r[0] == "tridiag"]
+        sat = cols.index("cycles")
+        return f"""**Question:** how many unresolved predictions must the AP hold for full
+recovery? Perfect predictor, sweeping the run-ahead depth cap.
+
+**Measured:** cycles fall until the in-flight predictions cover the
+memory round-trip, then flatten — `tridiag` saturates by depth 4
+({rows[0][sat]} cycles at depth {rows[0][2]} down to {rows[-1][sat]} at
+depth {rows[-1][2]}); `depth_refusals` counts the stalls the cap still
+forced. The knee is the hardware sizing answer: a handful of shadow
+frames suffices at this latency."""
+
     if eid == "R-F7":
         return """**Question:** does a *single* SMA node need a multi-ported memory (and a
 faster stream engine)? Port width and stream-engine issue bandwidth are
@@ -298,6 +339,8 @@ reports a miscomputing configuration.
 | vector machine wins vectorizable loops, cliffs on the rest | ✅ SMA 5.9–8.7× ahead on rejected loops |
 | single node is EP-bound, not port-bound | ✅ flat throughput vs ports |
 | N nodes / 1 port slow ≈ N×; wider port restores | ✅ word-exact under contention |
+| speculative AP recovers LOD-collapsed speedup monotonically in accuracy | ✅ perfect predictor removes ≥90% of lod stalls |
+| recovery saturates once run-ahead depth covers the memory round-trip | ✅ knee at depth ~4 |
 """)
     pathlib.Path("EXPERIMENTS.md").write_text("\n".join(out))
     print(f"EXPERIMENTS.md regenerated ({len(ORDER)} experiments)")

@@ -160,6 +160,29 @@ def cmd_compile(args) -> int:
     return 0
 
 
+def _experiment_id_summary() -> str:
+    """Render the experiment registry as compact help text, e.g.
+    ``R-T1..R-T7, R-F1..R-F9`` — derived from ``EXPERIMENTS`` so the CLI
+    help can never drift from the registered set."""
+    groups: dict[str, list[int]] = {}
+    odd: list[str] = []
+    for eid in EXPERIMENTS:
+        head, _, tail = eid.rpartition("-")
+        stem, digits = tail.rstrip("0123456789"), tail[len(tail.rstrip("0123456789")):]
+        if not digits:
+            odd.append(eid)
+            continue
+        groups.setdefault(f"{head}-{stem}", []).append(int(digits))
+    parts = []
+    for prefix, nums in groups.items():
+        nums.sort()
+        if len(nums) > 1 and nums == list(range(nums[0], nums[-1] + 1)):
+            parts.append(f"{prefix}{nums[0]}..{prefix}{nums[-1]}")
+        else:
+            parts.extend(f"{prefix}{k}" for k in nums)
+    return ", ".join(parts + sorted(odd))
+
+
 def _normalize_experiment_id(raw: str) -> str:
     """Map user spellings onto canonical experiment ids: ``rf8``,
     ``r-f8`` and ``R-F8`` all select ``R-F8``."""
@@ -701,7 +724,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_exp = sub.add_parser("experiment", help="run experiments by id")
     p_exp.add_argument("ids", nargs="+",
-                       help="R-T1..R-T6, R-F1..R-F8, or 'all'")
+                       help=f"{_experiment_id_summary()}, or 'all'")
     p_exp.add_argument("--plot", action="store_true",
                        help="ASCII chart for figure experiments")
     p_exp.add_argument("--csv", action="store_true",
@@ -725,7 +748,9 @@ def build_parser() -> argparse.ArgumentParser:
         help="crash-safe experiment sweep: cached, resumable, with "
              "per-job timeouts, bounded retries, and fault injection",
     )
-    p_sweep.add_argument("id", help="experiment id (R-T1..R-F8)")
+    p_sweep.add_argument(
+        "id", help=f"experiment id ({_experiment_id_summary()})"
+    )
     p_sweep.add_argument("--cache", required=True, metavar="DIR",
                          help="result cache directory (required: it is "
                               "what makes the sweep resumable)")

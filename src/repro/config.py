@@ -143,6 +143,61 @@ class FaultConfig:
 
 
 @dataclass(frozen=True)
+class SpeculationConfig:
+    """Speculative access-processor parameters (LOD run-ahead).
+
+    A non-``None`` :attr:`SMAConfig.speculation` lets the AP speculate
+    past loss-of-decoupling stalls (``lod_eaq``/``lod_ebq``): instead of
+    waiting for the EP to deliver a data-dependent address or branch
+    outcome, a deterministic predictor supplies a value, the AP
+    checkpoints its architectural state and runs ahead, and any memory
+    traffic it issues is poison-tagged until the prediction resolves.
+    A misprediction rolls the shadow state back, squashes the poisoned
+    traffic, and charges ``rollback_penalty`` cycles to the
+    ``misspeculation`` stall bucket.
+    """
+
+    #: probability in [0, 1] that any given prediction is correct.  The
+    #: predictor is deterministic per (pc, episode, seed): the same run
+    #: always predicts the same way.  ``0.0`` never speculates at all
+    #: (bit-identical to a non-speculative machine); ``1.0`` is a
+    #: perfect oracle.
+    accuracy: float = 1.0
+    #: oracle mode shortcut: ``"coin"`` uses :attr:`accuracy`,
+    #: ``"perfect"`` forces every prediction correct, ``"never"``
+    #: disables speculation while keeping the config present.
+    mode: str = "coin"
+    #: maximum simultaneously outstanding speculative frames (nested
+    #: speculation depth).  Swept by experiment R-F9.
+    max_depth: int = 4
+    #: recovery cycles charged to the ``misspeculation`` bucket after a
+    #: rollback, before the AP may issue again.
+    rollback_penalty: int = 2
+    #: mixed into the deterministic prediction coin.
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.accuracy <= 1.0:
+            raise ValueError("accuracy must be in [0, 1]")
+        if self.mode not in ("coin", "perfect", "never"):
+            raise ValueError(
+                f"unknown speculation mode {self.mode!r}; "
+                "known: 'coin', 'perfect', 'never'"
+            )
+        if self.max_depth < 1:
+            raise ValueError("max_depth must be >= 1")
+        if self.rollback_penalty < 0:
+            raise ValueError("rollback_penalty must be >= 0")
+
+    @property
+    def enabled(self) -> bool:
+        """Whether this configuration can ever open a speculative frame."""
+        return self.mode != "never" and (
+            self.mode == "perfect" or self.accuracy > 0.0
+        )
+
+
+@dataclass(frozen=True)
 class SMAConfig:
     """Full configuration of the decoupled SMA machine."""
 
@@ -165,6 +220,9 @@ class SMAConfig:
     #: optional transient-fault injection (see :class:`FaultConfig`);
     #: ``None`` (the default) means a fault-free memory system.
     faults: FaultConfig | None = None
+    #: optional speculative AP mode (see :class:`SpeculationConfig`);
+    #: ``None`` (the default) keeps the AP strictly non-speculative.
+    speculation: SpeculationConfig | None = None
 
     def __post_init__(self) -> None:
         if self.max_streams < 1 or self.stream_issue_per_cycle < 1:

@@ -28,7 +28,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..errors import SimulationError
+from ..errors import MemoryError_, SimulationError
 from ..isa import ACCESS_OPS, ALU_FUNCS, ALU_OPS, Imm, Op, Program, Queue, Reg
 from ..isa.operands import NUM_REGS, QueueSpace
 from ..memory.banks import BankedMemory
@@ -68,7 +68,7 @@ class AccessProcessor:
     __slots__ = (
         "program", "queues", "memory", "engine", "registers", "pc",
         "halted", "stats", "_stalled_on", "_decoded", "_saq", "_ebq",
-        "_bank_free", "_nbanks", "_accepts", "_prog", "_plen",
+        "_bank_free", "_nbanks", "_accepts", "_prog", "_plen", "_spec",
     )
 
     def __init__(
@@ -87,6 +87,9 @@ class AccessProcessor:
         self.halted = False
         self.stats = APStats()
         self._stalled_on: str | None = None
+        #: SpeculationEngine when the machine runs in speculative AP mode;
+        #: None keeps every hook on the baseline (bit-identical) path.
+        self._spec = None
         for instr in program:
             if instr.op not in ACCESS_OPS:
                 raise SimulationError(
@@ -209,6 +212,9 @@ class AccessProcessor:
         """Attempt to execute one instruction this cycle."""
         if self.halted:
             return
+        spec = self._spec
+        if spec is not None and spec.ap_blocked(self, now):
+            return
         if self.pc >= len(self.program):
             raise SimulationError(
                 f"AP ran off the end of program {self.program.name!r}"
@@ -250,12 +256,17 @@ class AccessProcessor:
             if not self._fromq(instr):
                 return
         elif op in (Op.BQNZ, Op.BQEZ):
-            ebq = self.queues.ep_to_ap_branch
-            if not ebq.head_ready():
-                ebq.note_empty_stall()
-                self._stall("lod_ebq")
-                return
-            value = ebq.pop()
+            if spec is not None:
+                value = spec.ap_branch_value(self)
+                if value is None:
+                    return
+            else:
+                ebq = self.queues.ep_to_ap_branch
+                if not ebq.head_ready():
+                    ebq.note_empty_stall()
+                    self._stall("lod_ebq")
+                    return
+                value = ebq.pop()
             taken = (value != 0) == (op is Op.BQNZ)
             self._retire(instr.branch_target() if taken else None)
             return
@@ -506,6 +517,11 @@ class AccessProcessor:
         self.registers[instr.dest.index] = result
 
     def _start_stream(self, instr) -> bool:
+        spec = self._spec
+        if spec is not None and spec.ap_stream_barrier(self):
+            # descriptors cannot be squashed, so they are speculation
+            # barriers: wait until every open frame has resolved
+            return False
         if not self.engine.has_free_slot():
             self._stall("stream_slots")
             return False
@@ -569,9 +585,20 @@ class AccessProcessor:
         dest = instr.dest
         assert isinstance(dest, Queue)
         target = self.queues.resolve(dest)
-        addr = as_address(
-            self._read(instr.srcs[0]) + self._read(instr.srcs[1])
-        )
+        spec = self._spec
+        speculative = spec is not None and spec.in_flight()
+        try:
+            addr = as_address(
+                self._read(instr.srcs[0]) + self._read(instr.srcs[1])
+            )
+        except (MemoryError_, ValueError, OverflowError):
+            if not speculative:
+                raise
+            addr = 0  # wrong-path garbage address; the load is doomed
+        if speculative:
+            # wrong-path addresses may be out of range; clamp so a doomed
+            # speculative load cannot crash the simulation
+            addr %= self.memory.storage.size
         if not target.can_reserve():
             target.note_full_stall()
             self._stall("queue_full")
@@ -580,6 +607,8 @@ class AccessProcessor:
             self._stall("memory_busy")
             return False
         token = target.reserve()
+        if spec is not None:
+            spec.note_reserved(target, token)
         accepted = self.memory.try_issue(
             addr, now, on_complete=lambda v, t=token, q=target: q.fill(t, v)
         )
@@ -594,16 +623,27 @@ class AccessProcessor:
             saq.note_full_stall()
             self._stall("saq_full")
             return False
-        addr = as_address(
-            self._read(instr.srcs[1]) + self._read(instr.srcs[2])
-        )
-        saq.push((addr, data_q.index))
+        spec = self._spec
+        try:
+            addr = as_address(
+                self._read(instr.srcs[1]) + self._read(instr.srcs[2])
+            )
+        except (MemoryError_, ValueError, OverflowError):
+            if not (spec is not None and spec.in_flight()):
+                raise
+            addr = 0  # wrong-path garbage; slot dies before commit
+        slot = saq.push((addr, data_q.index))
+        if spec is not None:
+            spec.note_reserved(saq, slot)
         return True
 
     def _fromq(self, instr) -> bool:
         src = instr.srcs[0]
         assert isinstance(src, Queue)
         queue = self.queues.resolve(src)
+        spec = self._spec
+        if spec is not None:
+            return spec.ap_fromq(self, instr, src, queue)
         if not queue.head_ready():
             queue.note_empty_stall()
             if src.space is QueueSpace.EAQ:

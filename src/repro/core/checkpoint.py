@@ -92,6 +92,29 @@ def cluster_fingerprint(cluster) -> str:
 
 # -- component encoders -----------------------------------------------------
 
+#: scalar stat fields captured per processor-stats type (``stall_cycles``
+#: is handled structurally).  Explicit lists, keyed by the stats class
+#: name: a field rename or a new counter must be registered here, and a
+#: mismatch raises :class:`CheckpointError` instead of silently restoring
+#: stale/zero counts (the old code probed ``lod_events`` via ``hasattr``,
+#: which a rename would have turned into a silent drop).
+_PROCESSOR_STAT_FIELDS = {
+    "APStats": ("instructions", "lod_events"),
+    "EPStats": ("instructions",),
+}
+
+
+def _stat_fields(stats) -> tuple[str, ...]:
+    name = type(stats).__name__
+    try:
+        return _PROCESSOR_STAT_FIELDS[name]
+    except KeyError:
+        raise CheckpointError(
+            f"unknown processor stats type {name!r}; register its fields "
+            "in checkpoint._PROCESSOR_STAT_FIELDS"
+        ) from None
+
+
 def _processor_state(proc) -> dict:
     stats = proc.stats
     data = {
@@ -99,11 +122,16 @@ def _processor_state(proc) -> dict:
         "pc": proc.pc,
         "halted": proc.halted,
         "stalled_on": proc._stalled_on,
-        "instructions": stats.instructions,
         "stall_cycles": dict(stats.stall_cycles),
     }
-    if hasattr(stats, "lod_events"):
-        data["lod_events"] = stats.lod_events
+    for name in _stat_fields(stats):
+        try:
+            data[name] = getattr(stats, name)
+        except AttributeError:
+            raise CheckpointError(
+                f"{type(stats).__name__} lost registered stat field "
+                f"{name!r}; update checkpoint._PROCESSOR_STAT_FIELDS"
+            ) from None
     return data
 
 
@@ -113,11 +141,20 @@ def _restore_processor(proc, data: dict) -> None:
     proc.halted = data["halted"]
     proc._stalled_on = data["stalled_on"]
     stats = proc.stats
-    stats.instructions = data["instructions"]
     stats.stall_cycles.clear()
     stats.stall_cycles.update(data["stall_cycles"])
-    if hasattr(stats, "lod_events"):
-        stats.lod_events = data["lod_events"]
+    for name in _stat_fields(stats):
+        if name not in data:
+            raise CheckpointError(
+                f"snapshot is missing processor stat field {name!r} for "
+                f"{type(stats).__name__}"
+            )
+        if not hasattr(stats, name):
+            raise CheckpointError(
+                f"{type(stats).__name__} lost registered stat field "
+                f"{name!r}; update checkpoint._PROCESSOR_STAT_FIELDS"
+            )
+        setattr(stats, name, data[name])
 
 
 def _engine_state(engine, qindex: dict) -> dict:
@@ -407,6 +444,13 @@ def snapshot_machine(machine, include_memory: bool = True) -> dict:
             else _metrics_state(machine._metrics)
         ),
     }
+    if machine._spec is not None:
+        if not machine._spec.idle():
+            raise CheckpointError(
+                "cannot snapshot mid-speculation (open frames); step the "
+                "machine until every prediction has resolved first"
+            )
+        data["speculation"] = machine._spec.snapshot_state()
     if include_memory:
         data["memory"] = _memory_state(machine.memory)
         data["banked"] = _banked_state(
@@ -445,6 +489,26 @@ def restore_machine(machine, data: dict, include_memory: bool = True) -> None:
     _restore_store_unit(machine.store_unit, data["store_unit"])
     if data["metrics"] is not None:
         _restore_metrics(machine._metrics, data["metrics"])
+    spec_data = data.get("speculation")
+    if spec_data is not None:
+        # the engine may not exist yet (snapshot restored before the
+        # machine's first cycle); build it around the serialized oracle
+        # instead of re-running the reference pre-run
+        if not machine._spec_ready or machine._spec is None:
+            machine._ensure_speculation(oracle=spec_data["oracle"])
+        if machine._spec is None:
+            raise CheckpointError(
+                "snapshot carries speculation state but this machine's "
+                "configuration disables speculation"
+            )
+        machine._spec.restore_state(spec_data)
+    else:
+        # the snapshot predates the engine (taken before the machine's
+        # first cycle); match that state exactly — the engine will be
+        # rebuilt, oracle and all, on the next step
+        machine._spec = None
+        machine.ap._spec = None
+        machine._spec_ready = False
     if include_memory:
         _restore_memory(machine.memory, data["memory"])
         _restore_banked(machine.banked, data["banked"], lambda i: qlist[i])

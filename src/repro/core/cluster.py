@@ -280,6 +280,12 @@ class SMACluster:
             # see SMAMachine.run: only naive ticking exercises the
             # injected faults faithfully
             scheduler = "naive"
+        spec_cfg = self.config.speculation
+        if (spec_cfg is not None and spec_cfg.enabled
+                and scheduler != "naive"):
+            # see SMAMachine.run: the fast loops bypass the speculation
+            # hooks, so speculative clusters run under naive ticking
+            scheduler = "naive"
         if scheduler == "codegen":
             self._run_event_horizon(
                 max_cycles, deadlock_window,

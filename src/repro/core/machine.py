@@ -91,6 +91,9 @@ class SMAResult:
     #: per-bucket cycle partition (see repro.metrics.attribution); None
     #: unless metrics were attached to the machine.
     stall_breakdown: dict[str, int] | None = None
+    #: speculative-AP counters (see repro.core.speculation); None unless
+    #: the machine ran with speculation enabled.
+    speculation: dict[str, int] | None = None
 
     @property
     def instructions(self) -> int:
@@ -126,6 +129,8 @@ class SMAResult:
         }
         if self.stall_breakdown is not None:
             out["stall_breakdown"] = dict(self.stall_breakdown)
+        if self.speculation is not None:
+            out["speculation"] = dict(self.speculation)
         return out
 
     def summary(self) -> str:
@@ -202,6 +207,10 @@ class SMAMachine:
         # by the fast-forward statistics replay
         self._queue_list = self.queues.all_queues()
         self._load_slots = [q._slots for q in self.queues.load]
+        #: speculative-AP engine (repro.core.speculation), built lazily by
+        #: _ensure_speculation so the oracle pre-run sees loaded inputs
+        self._spec = None
+        self._spec_ready = False
 
     # -- convenience for loading workloads ------------------------------
 
@@ -249,6 +258,7 @@ class SMAMachine:
             and self.engine.idle()
             and not self.store_unit.pending()
             and (not self._owns_memory or self.banked.quiescent())
+            and (self._spec is None or self._spec.idle())
         )
 
     # kept for any external callers of the old private name
@@ -262,12 +272,18 @@ class SMAMachine:
         once per cycle for all member machines.
         """
         now = self.cycle
+        if not self._spec_ready:
+            self._ensure_speculation()
         if tick_memory:
             self.banked.tick(now)
         self.store_unit.tick(now)
         self.engine.tick(now)
         self.ap.step(now)
         self.ep.step(now)
+        if self._spec is not None:
+            # end-of-cycle prediction resolution: both processors have
+            # acted, so any EP confirmation pushed this cycle is visible
+            self._spec.on_cycle(self, now)
         self.queues.sample()
         outstanding = sum(map(len, self._load_slots))
         self._occupancy_sum += outstanding
@@ -276,6 +292,27 @@ class SMAMachine:
         if self._metrics is not None:
             self._metrics.on_cycle(self, now)
         self.cycle += 1
+
+    def _ensure_speculation(self, oracle: dict | None = None) -> None:
+        """Build the speculation engine on first use (idempotent).
+        ``oracle`` supplies pre-recorded prediction tables (checkpoint
+        restore), skipping the reference pre-run.
+
+        Deferred past construction so the oracle pre-run observes the
+        same initial memory image as the speculative run — workloads are
+        loaded with :meth:`load_array` after the machine is built.  A
+        config whose :attr:`SpeculationConfig.enabled` is false (accuracy
+        0 or mode ``"never"``) never creates an engine at all, keeping
+        such runs bit-identical to a machine with no speculation config.
+        """
+        self._spec_ready = True
+        spec_cfg = self.config.speculation
+        if spec_cfg is None or not spec_cfg.enabled or self._spec is not None:
+            return
+        from .speculation import SpeculationEngine
+
+        self._spec = SpeculationEngine(self, spec_cfg, oracle=oracle)
+        self.ap._spec = self._spec
 
     def step_cycles(self, count: int) -> int:
         """Step up to ``count`` cycles (stopping early at completion);
@@ -355,6 +392,10 @@ class SMAMachine:
             stall_breakdown=(
                 self._metrics.stall_breakdown()
                 if self._metrics is not None else None
+            ),
+            speculation=(
+                self._spec.stats.to_dict()
+                if self._spec is not None else None
             ),
         )
 
@@ -440,6 +481,13 @@ class SMAMachine:
             # step_fast) and jump over cycles in which the deterministic
             # fault predicate would have changed its verdict; only naive
             # ticking exercises the injected faults faithfully
+            scheduler = "naive"
+        spec_cfg = self.config.speculation
+        if (spec_cfg is not None and spec_cfg.enabled
+                and scheduler != "naive"):
+            # like faults: the fast schedulers inline queue pops and hoist
+            # the done() predicate, bypassing the speculation hooks; only
+            # the naive loop drives prediction/resolution faithfully
             scheduler = "naive"
         if observer is not None:
             if scheduler in ("event-horizon", "codegen") and not getattr(

@@ -1,0 +1,427 @@
+"""Speculative access-processor run-ahead (the LOD-recovery subsystem).
+
+The paper's central negative result is that loss-of-decoupling events —
+data-dependent addresses (``FROMQ`` from the EAQ) and execute-resolved
+branches (``BQNZ``/``BQEZ`` on the EBQ) — drag the access processor back
+to the execute processor's speed, collapsing the run-ahead advantage.
+This module implements the modern fix (Szafarczyk et al., "Compiler
+Support for Speculation in Decoupled Access/Execute Architectures"):
+instead of stalling at a LOD point, the AP asks a predictor for the
+value, checkpoints its architectural state, and keeps issuing memory
+traffic *speculatively*.
+
+Mechanism
+---------
+
+* **Predictor.**  Deterministic per (pc, episode, seed): a hash coin
+  decides *a priori* whether each prediction is correct.  A correct
+  prediction supplies the exact value the EP will eventually deliver
+  (obtained from an *oracle pre-run*: a non-speculative clone of the
+  machine executed once up front, with taps recording every EAQ/EBQ pop
+  value in order); an incorrect one supplies a deliberately wrong value
+  (flipped branch direction / perturbed address).  ``accuracy=0`` or
+  ``mode="never"`` never opens a frame, so such runs are bit-identical
+  to a non-speculative machine; ``mode="perfect"`` always predicts
+  correctly.
+
+* **Frames.**  Each speculation pushes a frame recording the AP shadow
+  state (registers, pc), the pop-sequence cursor, the coin verdict, and
+  every queue slot the AP subsequently pops or reserves.  Nested
+  speculation (up to ``max_depth`` frames) lets the AP run past several
+  unresolved LOD points at once.
+
+* **Poison.**  Queue slots reserved (loads) or pushed (store addresses)
+  while any frame is open are poison-tagged; ``OperandQueue.head_ready``
+  hides poisoned heads from the EP and the store unit, so speculative
+  data never leaks into non-speculative state.  Store *data* stays in
+  the SDQ and stores only commit after the producing frame commits.
+
+* **Resolution.**  The EP keeps executing the non-speculative path; its
+  EAQ/EBQ pushes are the confirmations.  While predictions are pending
+  on a queue the AP never consumes that queue's real head — arrivals
+  are matched FIFO against pending frames at end of cycle.  A confirmed
+  frame commits once every outer frame has committed: the confirming
+  arrival is popped, its reserved slots are un-poisoned.  A refuted
+  frame rolls back: reserved slots are squashed (including their
+  in-flight memory completions), popped slots are re-inserted at the
+  head, the AP shadow state is restored, and the AP stalls for
+  ``rollback_penalty`` cycles on the new ``misspeculation`` cause.
+
+* **Accounting.**  Statistics are *not* rolled back: wrong-path
+  instructions, memory traffic and stall cycles are work the machine
+  really did.  The metrics partition gains a ``misspeculation`` bucket
+  (recovery penalty + speculation barriers); every elapsed cycle stays
+  attributed to exactly one bucket.
+
+Speculation runs only under the reference (naive) scheduler — the fast
+schedulers downgrade, exactly as fault injection does.  Streams are
+speculation barriers: a descriptor op stalls (``spec_barrier``) until
+all frames resolve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from ..config import SpeculationConfig
+from ..errors import QueueError, SimulationError
+from ..isa.operands import QueueSpace
+
+
+@dataclass
+class SpeculationStats:
+    """What the speculative AP did during one run."""
+
+    #: frames opened (predictions made)
+    predictions: int = 0
+    #: predictions the coin decided would be correct
+    correct_predictions: int = 0
+    #: frames committed (prediction confirmed by the EP's value)
+    commits: int = 0
+    #: rollbacks performed (each may undo several nested frames)
+    rollbacks: int = 0
+    #: in-flight memory completions squashed by rollbacks
+    squashed_completions: int = 0
+    #: speculation refused because the oracle table was exhausted
+    #: (the reference run never popped this far — program is ending)
+    oracle_refusals: int = 0
+    #: speculation refused because ``max_depth`` frames were open
+    depth_refusals: int = 0
+    #: deepest simultaneous frame nesting observed
+    max_depth: int = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "predictions": self.predictions,
+            "correct_predictions": self.correct_predictions,
+            "commits": self.commits,
+            "rollbacks": self.rollbacks,
+            "squashed_completions": self.squashed_completions,
+            "oracle_refusals": self.oracle_refusals,
+            "depth_refusals": self.depth_refusals,
+            "max_depth": self.max_depth,
+        }
+
+
+@dataclass
+class _Frame:
+    """One open speculation: shadow state + undo log + verdict."""
+
+    key: str                 # "eaq" | "ebq"
+    pc: int                  # AP pc of the speculated instruction
+    registers: list          # AP register file at entry
+    halted: bool             # AP halted flag at entry (always False)
+    pop_seq: dict            # pop-sequence cursors at entry
+    correct: bool            # coin verdict, decided at prediction time
+    value: float             # the true (oracle) value being predicted
+    resolved: bool = False   # confirming arrival observed
+    #: (queue, slot) reserved/pushed while this frame was innermost
+    reserved: list = field(default_factory=list)
+    #: (queue, slot) popped while this frame was innermost, in pop order
+    popped: list = field(default_factory=list)
+
+
+def build_oracle(machine, max_cycles: int = 10_000_000) -> dict:
+    """Record the EAQ/EBQ pop-value sequences of a non-speculative
+    reference run of ``machine``'s programs over a copy of its current
+    memory image.
+
+    Architectural values (unlike timing) are scheduler-independent, and
+    correct speculation plus rollback-on-misprediction preserves the
+    architectural history exactly, so the recorded sequences stay valid
+    for the whole speculative run.  Faults are stripped from the clone:
+    they perturb timing only, never values.
+    """
+    from .machine import SMAMachine
+
+    cfg = replace(machine.config, speculation=None, faults=None)
+    ref = SMAMachine(machine.ap.program, machine.ep.program, cfg)
+    ref.memory._words[:] = machine.memory._words[: ref.memory.size]
+    taps = {"eaq": [], "ebq": []}
+    ref.queues.ep_to_ap_data._tap = taps["eaq"]
+    ref.queues.ep_to_ap_branch._tap = taps["ebq"]
+    ref.run(max_cycles=max_cycles, scheduler="naive")
+    return taps
+
+
+class SpeculationEngine:
+    """Per-machine speculation state machine (see module docstring).
+
+    The AP calls in through four hooks (``ap_blocked``, ``ap_fromq``,
+    ``ap_branch_value``, ``ap_stream_barrier`` plus ``note_reserved``);
+    the machine calls :meth:`on_cycle` once per cycle after both
+    processors have stepped, which is where predictions resolve.
+    """
+
+    def __init__(self, machine, config: SpeculationConfig,
+                 oracle: dict | None = None):
+        self.config = config
+        self.ap = machine.ap
+        self.memory = machine.banked
+        self.eaq = machine.queues.ep_to_ap_data
+        self.ebq = machine.queues.ep_to_ap_branch
+        self.stats = SpeculationStats()
+        #: values consumed (really or speculatively) per queue, indexing
+        #: the oracle tables; frames snapshot and rollback restores it
+        self.pop_seq = {"eaq": 0, "ebq": 0}
+        #: first cycle the AP may issue again after a rollback
+        self.penalty_until = 0
+        #: open frames, outermost first
+        self.stack: list[_Frame] = []
+        #: unresolved/uncommitted frames per queue, FIFO
+        self.pending: dict[str, list[_Frame]] = {"eaq": [], "ebq": []}
+        # a precomputed oracle (checkpoint restore) skips the pre-run
+        self.oracle = (
+            {k: list(v) for k, v in oracle.items()}
+            if oracle is not None else build_oracle(machine)
+        )
+
+    # -- state queries ----------------------------------------------------
+
+    def idle(self) -> bool:
+        """True when no speculation is outstanding (machine may finish)."""
+        return not self.stack
+
+    def in_flight(self) -> bool:
+        return bool(self.stack)
+
+    # -- AP hooks ----------------------------------------------------------
+
+    def ap_blocked(self, ap, now: int) -> bool:
+        """Rollback-penalty gate, called at the top of every AP step."""
+        if now < self.penalty_until:
+            ap._stall("misspeculation")
+            return True
+        return False
+
+    def ap_stream_barrier(self, ap) -> bool:
+        """Descriptor ops are speculation barriers: a wrong-path stream
+        cannot be squashed, so the AP waits for all frames to resolve."""
+        if self.stack:
+            ap._stall("spec_barrier")
+            return True
+        return False
+
+    def note_reserved(self, queue, slot) -> None:
+        """Poison-tag a slot the AP just reserved/pushed, if speculative."""
+        if self.stack:
+            slot.poisoned = True
+            self.stack[-1].reserved.append((queue, slot))
+
+    def ap_fromq(self, ap, instr, src, queue) -> bool:
+        """Speculation-aware FROMQ; mirrors ``AccessProcessor._fromq``."""
+        space = src.space
+        if space is QueueSpace.EAQ:
+            key, cause = "eaq", "lod_eaq"
+        elif space is QueueSpace.EBQ:
+            key, cause = "ebq", "lod_ebq"
+        else:
+            key, cause = None, "iq_empty"
+        if key is None:
+            # index queue: never predicted, but the speculative AP may
+            # consume its own poisoned run-ahead data (undoably)
+            if self.stack:
+                if queue.head_filled():
+                    slot = queue.pop_slot()
+                    self.stack[-1].popped.append((queue, slot))
+                    ap.registers[instr.dest.index] = slot.value
+                    return True
+            elif queue.head_ready():
+                ap.registers[instr.dest.index] = queue.pop()
+                return True
+            queue.note_empty_stall()
+            ap._stall(cause)
+            return False
+        value = self._consume(ap, key, queue, cause)
+        if value is None:
+            return False
+        ap.registers[instr.dest.index] = value
+        return True
+
+    def ap_branch_value(self, ap):
+        """Speculation-aware BQNZ/BQEZ operand; ``None`` means the AP
+        stalled (stall already recorded)."""
+        return self._consume(ap, "ebq", self.ebq, "lod_ebq")
+
+    # -- consumption / prediction ------------------------------------------
+
+    def _consume(self, ap, key: str, queue, cause: str):
+        if not self.pending[key] and queue.head_ready():
+            # a real value with nothing outstanding on this queue
+            if self.stack:
+                slot = queue.pop_slot()
+                self.stack[-1].popped.append((queue, slot))
+                value = slot.value
+            else:
+                value = queue.pop()
+            self.pop_seq[key] += 1
+            return value
+        # while predictions are pending, arrivals in the queue belong to
+        # them (FIFO) — the AP must predict again or wait
+        value = self._speculate(ap, key)
+        if value is None:
+            queue.note_empty_stall()
+            ap._stall(cause)
+        return value
+
+    def _speculate(self, ap, key: str):
+        if len(self.stack) >= self.config.max_depth:
+            self.stats.depth_refusals += 1
+            return None
+        table = self.oracle[key]
+        seq = self.pop_seq[key]
+        if seq >= len(table):
+            self.stats.oracle_refusals += 1
+            return None
+        actual = table[seq]
+        self.stats.predictions += 1
+        correct = self._coin(ap.pc)
+        if correct:
+            self.stats.correct_predictions += 1
+        frame = _Frame(
+            key=key,
+            pc=ap.pc,
+            registers=list(ap.registers),
+            halted=ap.halted,
+            pop_seq=dict(self.pop_seq),
+            correct=correct,
+            value=actual,
+        )
+        self.stack.append(frame)
+        if len(self.stack) > self.stats.max_depth:
+            self.stats.max_depth = len(self.stack)
+        self.pending[key].append(frame)
+        self.pop_seq[key] += 1
+        return actual if correct else self._wrong_value(key, actual)
+
+    def _coin(self, pc: int) -> bool:
+        """Deterministic per-(pc, episode, seed) correctness verdict."""
+        cfg = self.config
+        if cfg.mode == "perfect" or cfg.accuracy >= 1.0:
+            return True
+        n = self.stats.predictions  # 1-based episode counter
+        h = (pc * 2654435761 + n * 40503 + cfg.seed * 97) & 0xFFFFFFFF
+        h ^= h >> 16
+        h = (h * 0x45D9F3B) & 0xFFFFFFFF
+        h ^= h >> 16
+        return h / 2.0 ** 32 < cfg.accuracy
+
+    @staticmethod
+    def _wrong_value(key: str, actual: float) -> float:
+        """A deliberately wrong prediction that still drives a plausible
+        wrong path: branches flip direction; addresses shift by one
+        element (staying non-negative, so wrong-path loads stay in
+        plausible range — they are additionally clamped at issue)."""
+        if key == "ebq":
+            return 1.0 if actual == 0 else 0.0
+        return actual - 1.0 if actual >= 1.0 else actual + 1.0
+
+    # -- resolution ---------------------------------------------------------
+
+    def on_cycle(self, machine, now: int) -> None:
+        """End-of-cycle resolution: match EP arrivals against pending
+        frames FIFO, roll back on the first refuted frame, cascade-commit
+        resolved frames from the outermost."""
+        if not self.stack:
+            return
+        progressed = True
+        while progressed and self.stack:
+            progressed = False
+            for key, queue in (("eaq", self.eaq), ("ebq", self.ebq)):
+                pend = self.pending[key]
+                if not pend:
+                    continue
+                resolved = sum(1 for f in pend if f.resolved)
+                # every slot in the EAQ/EBQ is a filled EP push; slots
+                # beyond the already-resolved count are new confirmations
+                while resolved < len(pend) and queue.filled_count > resolved:
+                    frame = pend[resolved]
+                    if not frame.correct:
+                        self._rollback(frame, now)
+                        return
+                    frame.resolved = True
+                    resolved += 1
+                    progressed = True
+            while self.stack and self.stack[0].resolved:
+                self._commit(self.stack.pop(0))
+                progressed = True
+
+    def _commit(self, frame: _Frame) -> None:
+        queue = self.eaq if frame.key == "eaq" else self.ebq
+        confirmed = queue.pop()
+        if confirmed != frame.value:
+            raise SimulationError(
+                "speculation oracle diverged: predicted "
+                f"{frame.value!r} on {frame.key} but the EP delivered "
+                f"{confirmed!r}"
+            )
+        for _q, slot in frame.reserved:
+            slot.poisoned = False
+        pend = self.pending[frame.key]
+        assert pend and pend[0] is frame
+        pend.pop(0)
+        self.stats.commits += 1
+
+    def _rollback(self, frame: _Frame, now: int) -> None:
+        """Undo ``frame`` and everything nested inside it (LIFO)."""
+        idx = self.stack.index(frame)
+        squash = []
+        for g in reversed(self.stack[idx:]):
+            reserved_ids = {id(s) for _q, s in g.reserved}
+            # squash this frame's reservations first so re-inserting its
+            # pops can never transiently exceed entry-time occupancy
+            for q, slot in g.reserved:
+                try:
+                    q.remove_slot(slot)
+                except QueueError:
+                    pass  # already popped speculatively; not re-inserted
+                squash.append(slot)
+            for q, slot in reversed(g.popped):
+                if id(slot) not in reserved_ids:
+                    q.unpop_slot(slot)
+            self.pending[g.key].remove(g)
+        del self.stack[idx:]
+        if squash:
+            self.stats.squashed_completions += (
+                self.memory.squash_completions(squash)
+            )
+        ap = self.ap
+        ap.registers[:] = frame.registers
+        ap.pc = frame.pc
+        ap.halted = frame.halted
+        ap._stalled_on = None
+        self.pop_seq = dict(frame.pop_seq)
+        self.penalty_until = now + 1 + self.config.rollback_penalty
+        self.stats.rollbacks += 1
+
+    # -- checkpointing ------------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        """JSON-clean image of the engine's between-runs state.  Open
+        frames are deliberately unsupported — the caller must refuse to
+        snapshot mid-speculation (see :mod:`repro.core.checkpoint`)."""
+        assert not self.stack, "snapshot with open speculation frames"
+        st = self.stats
+        return {
+            "pop_seq": dict(self.pop_seq),
+            "penalty_until": self.penalty_until,
+            "oracle": {k: list(v) for k, v in self.oracle.items()},
+            "stats": st.to_dict(),
+        }
+
+    def restore_state(self, data: dict) -> None:
+        self.stack.clear()
+        self.pending["eaq"].clear()
+        self.pending["ebq"].clear()
+        self.pop_seq = {k: int(v) for k, v in data["pop_seq"].items()}
+        self.penalty_until = int(data["penalty_until"])
+        self.oracle = {k: list(v) for k, v in data["oracle"].items()}
+        st, src = self.stats, data["stats"]
+        st.predictions = src["predictions"]
+        st.correct_predictions = src["correct_predictions"]
+        st.commits = src["commits"]
+        st.rollbacks = src["rollbacks"]
+        st.squashed_completions = src["squashed_completions"]
+        st.oracle_refusals = src["oracle_refusals"]
+        st.depth_refusals = src["depth_refusals"]
+        st.max_depth = src["max_depth"]

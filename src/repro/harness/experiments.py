@@ -34,6 +34,8 @@ R-F5      ablation: structured descriptors vs per-element access
 R-F6      queue occupancy over time
 R-F7      memory-port bandwidth ablation (extension)
 R-F8      multiprocessor interference (extension)
+R-T7      speculative AP vs prediction accuracy (extension)
+R-F9      speculative AP run-ahead depth sweep (extension)
 ========  ===========================================================
 
 Sweeps keep the classic era relationship ``bank_busy = latency / 2``
@@ -51,6 +53,7 @@ from ..config import (
     QueueConfig,
     ScalarConfig,
     SMAConfig,
+    SpeculationConfig,
 )
 from ..kernels import all_kernels
 from .jobs import Job
@@ -717,6 +720,124 @@ def fig8_multiprocessor(
 
 
 # ---------------------------------------------------------------------------
+# R-T7 / R-F9: speculative AP mode (extension)
+# ---------------------------------------------------------------------------
+
+#: (kernel, lod_variant) pairs lowered into deliberately LOD-collapsed
+#: shapes: every gather index (``addr``) or loop back-edge (``branch``)
+#: round-trips through the EP, so the AP runs at the EP's speed and the
+#: decoupled speedup vanishes — the workloads speculation targets.
+SPECULATION_REPS = (("pic_gather", "addr"), ("tridiag", "branch"))
+SPEC_ACCURACIES = (0.0, 0.25, 0.5, 0.75, 1.0)
+SPEC_LATENCY = 16
+SPEC_DEPTH = 16
+
+
+def _spec_sma(speculation: SpeculationConfig | None) -> SMAConfig:
+    return SMAConfig(memory=_memory(SPEC_LATENCY), speculation=speculation)
+
+
+def table7_speculation(
+    n: int = 256, reps: Sequence[tuple[str, str]] = SPECULATION_REPS,
+    accuracies: Sequence[float] = SPEC_ACCURACIES,
+    jobs: int = 1, cache_dir: str | None = None,
+) -> Table:
+    """Extension: recovering LOD-collapsed speedup with a speculative AP.
+
+    On the ``addr``/``branch`` lowerings the AP stalls on EAQ/EBQ every
+    element; a value predictor lets it run ahead, rolling back on a
+    misprediction.  Accuracy 0.0 disables the predictor entirely (the
+    non-speculative baseline, bit-identical to no speculation config);
+    accuracy 1.0 always predicts correctly.  Expected shape: cycles fall
+    monotonically with accuracy, and at 1.0 nearly all ``lod_*`` stall
+    cycles are gone (residue is commit/penalty bookkeeping).  Every run
+    is verified word-exact against the reference interpreter — rollback
+    changes timing, never values.
+    """
+    t = Table(
+        "R-T7",
+        f"Speculative AP vs prediction accuracy "
+        f"(n={n}, latency={SPEC_LATENCY}, depth={SPEC_DEPTH})",
+        ("kernel", "variant", "accuracy", "cycles", "lod_stall_cycles",
+         "misspec_stalls", "rollbacks", "recovered_speedup"),
+    )
+    joblist = [
+        Job("sma", name, n, lod_variant=variant, check=True,
+            sma_config=_spec_sma(
+                SpeculationConfig(accuracy=acc, max_depth=SPEC_DEPTH)))
+        for name, variant in reps for acc in accuracies
+    ]
+    results = run_jobs(joblist, workers=jobs, cache_dir=cache_dir)
+    stride = len(accuracies)
+    for i, (name, variant) in enumerate(reps):
+        rows = results[i * stride:(i + 1) * stride]
+        base = rows[0]  # accuracy grid starts at the 0.0 baseline
+        for acc, row in zip(accuracies, rows):
+            spec = row.get("speculation") or {}
+            t.add_row(
+                name, variant, acc, row["cycles"],
+                row["lod_stall_cycles"],
+                row["ap_stalls"].get("misspeculation", 0),
+                spec.get("rollbacks", 0),
+                base["cycles"] / row["cycles"],
+            )
+    t.note("accuracy 0.0 = speculation disabled (the baseline row)")
+    t.note("all rows word-exact vs the reference interpreter")
+    return t
+
+
+SPEC_DEPTHS = (1, 2, 4, 8, 16)
+
+
+def fig9_spec_depth(
+    n: int = 256, reps: Sequence[tuple[str, str]] = SPECULATION_REPS,
+    depths: Sequence[int] = SPEC_DEPTHS,
+    jobs: int = 1, cache_dir: str | None = None,
+) -> Table:
+    """Extension: how much run-ahead does recovery need?  Perfect
+    predictor, sweeping the maximum number of unresolved predictions the
+    AP may hold.  Expected shape: cycles fall as depth grows until the
+    depth covers the memory round-trip (``latency/ap-iteration-length``
+    predictions in flight), then flatten; ``depth_refusals`` counts the
+    cycles-worth of predictions the cap denied.
+    """
+    t = Table(
+        "R-F9",
+        f"Speculation depth sweep "
+        f"(n={n}, perfect predictor, latency={SPEC_LATENCY})",
+        ("kernel", "variant", "depth", "cycles", "lod_stall_cycles",
+         "depth_refusals", "max_depth_seen", "recovered_speedup"),
+    )
+    joblist = []
+    for name, variant in reps:
+        joblist.append(
+            Job("sma", name, n, lod_variant=variant, check=True,
+                sma_config=_spec_sma(None))
+        )
+        for depth in depths:
+            joblist.append(
+                Job("sma", name, n, lod_variant=variant, check=True,
+                    sma_config=_spec_sma(
+                        SpeculationConfig(mode="perfect", max_depth=depth)))
+            )
+    results = run_jobs(joblist, workers=jobs, cache_dir=cache_dir)
+    stride = len(depths) + 1
+    for i, (name, variant) in enumerate(reps):
+        base, *rows = results[i * stride:(i + 1) * stride]
+        for depth, row in zip(depths, rows):
+            spec = row.get("speculation") or {}
+            t.add_row(
+                name, variant, depth, row["cycles"],
+                row["lod_stall_cycles"],
+                spec.get("depth_refusals", 0),
+                spec.get("max_depth", 0),
+                base["cycles"] / row["cycles"],
+            )
+    t.note("first column block's baseline: same lowering, no speculation")
+    return t
+
+
+# ---------------------------------------------------------------------------
 
 EXPERIMENTS: dict[str, Callable[..., Table]] = {
     "R-T1": table1_mix,
@@ -725,6 +846,7 @@ EXPERIMENTS: dict[str, Callable[..., Table]] = {
     "R-T4": table4_lod,
     "R-T5": table5_prefetch,
     "R-T6": table6_vector,
+    "R-T7": table7_speculation,
     "R-F1": fig1_latency,
     "R-F2": fig2_queue_depth,
     "R-F3": fig3_slip,
@@ -733,6 +855,7 @@ EXPERIMENTS: dict[str, Callable[..., Table]] = {
     "R-F6": fig6_occupancy,
     "R-F7": fig7_ports,
     "R-F8": fig8_multiprocessor,
+    "R-F9": fig9_spec_depth,
 }
 
 

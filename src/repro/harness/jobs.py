@@ -91,6 +91,9 @@ class Job:
     nodes: int = 1
     #: time-series resolution (occupancy jobs)
     buckets: int = 32
+    #: LOD-heavy lowering shape (SMA jobs): None, "addr" or "branch"
+    #: (see :func:`repro.kernels.lower_sma.lower_sma`)
+    lod_variant: str | None = None
 
     def __post_init__(self):
         for f in fields(self):
@@ -101,6 +104,13 @@ class Job:
         if self.machine not in MACHINES:
             raise ValueError(
                 f"unknown job machine {self.machine!r}; known: {MACHINES}"
+            )
+        if self.lod_variant is not None and self.lod_variant not in (
+            "addr", "branch"
+        ):
+            raise ValueError(
+                f"unknown lod_variant {self.lod_variant!r}; "
+                f"expected 'addr' or 'branch'"
             )
 
 
@@ -187,9 +197,11 @@ def _instantiated(name: str, n: int | None, seed: int):
 
 
 @lru_cache(maxsize=None)
-def _lowered_sma(name: str, n: int | None, seed: int, use_streams: bool):
+def _lowered_sma(name: str, n: int | None, seed: int, use_streams: bool,
+                 lod_variant: str | None = None):
     kernel, _ = _instantiated(name, n, seed)
-    return lower_sma(kernel, use_streams=use_streams)
+    return lower_sma(kernel, use_streams=use_streams,
+                     lod_variant=lod_variant)
 
 
 @lru_cache(maxsize=None)
@@ -245,7 +257,8 @@ def _run_sma(job: Job, use_streams: bool) -> dict:
     from .runner import run_on_sma
 
     kernel, inputs = _instantiated(job.kernel, job.n, job.seed)
-    lowered = _lowered_sma(job.kernel, job.n, job.seed, use_streams)
+    lowered = _lowered_sma(job.kernel, job.n, job.seed, use_streams,
+                           job.lod_variant)
     run = run_on_sma(
         kernel, inputs, job.sma_config, use_streams=use_streams,
         lowered=lowered, metrics=_metrics_armed(),
@@ -254,7 +267,9 @@ def _run_sma(job: Job, use_streams: bool) -> dict:
         _check_outputs(job, run.machine, run.outputs)
     res = run.result
     info = lowered.info
+    spec = {"speculation": res.speculation} if res.speculation else {}
     return {
+        **spec,
         **_capture(job, run),
         "cycles": res.cycles,
         "ap_instructions": res.ap.instructions,

@@ -75,14 +75,27 @@ class SweepStats:
     retried: int = 0      #: job re-executions (failure or timeout)
     respawns: int = 0     #: process pools rebuilt after a crash/timeout
     quarantined: int = 0  #: corrupt cache entries moved aside
+    #: exception type name -> occurrences, across every charged failure
+    #: (serial retries and pool retries/timeouts alike)
+    failures: dict[str, int] = field(default_factory=dict)
+
+    def record_failure(self, kind: str) -> None:
+        self.failures[kind] = self.failures.get(kind, 0) + 1
 
     def summary(self) -> str:
-        return (
+        text = (
             f"{self.hits} cached, {self.executed} executed, "
             f"{self.flushed} flushed, {self.retried} retried, "
             f"{self.respawns} pool respawns, "
             f"{self.quarantined} quarantined"
         )
+        if self.failures:
+            kinds = ", ".join(
+                f"{name}×{count}"
+                for name, count in sorted(self.failures.items())
+            )
+            text += f" (failures: {kinds})"
+        return text
 
 
 @dataclass(frozen=True)
@@ -339,7 +352,12 @@ def _run_serial(
                 try:
                     result = run_job(jobs[i])
                     break
+                except (KeyboardInterrupt, SystemExit):
+                    # never burn a retry on the user (or the test
+                    # harness) aborting the sweep
+                    raise
                 except Exception as exc:
+                    stats.record_failure(type(exc).__name__)
                     if attempt >= retries:
                         raise
                     stats.retried += 1
@@ -402,6 +420,9 @@ def _run_pool(
     def charge(i: int, why: str, cause: BaseException | None) -> None:
         """One failed execution of job ``i``; raises when the retry
         budget is gone."""
+        stats.record_failure(
+            type(cause).__name__ if cause is not None else "Timeout"
+        )
         attempts[i] += 1
         if attempts[i] > retries:
             if cause is not None and not isinstance(

@@ -44,7 +44,7 @@ from collections import Counter
 from dataclasses import dataclass, field
 
 from ..errors import LoweringError
-from ..isa import EAQ, Imm, Label, Op, Operand, Program, ProgramBuilder, Queue, Reg
+from ..isa import EAQ, EBQ, Imm, Label, Op, Operand, Program, ProgramBuilder, Queue, Reg
 from ..isa.operands import iq as iq_operand
 from ..isa.operands import lq as lq_operand
 from ..isa.operands import sdq as sdq_operand
@@ -52,6 +52,7 @@ from .ir import (
     Affine,
     Assign,
     BinOp,
+    Cmp,
     Computed,
     Const,
     Expr,
@@ -113,18 +114,82 @@ class LoweredSMA:
     layout: Layout
     info: SMALoweringInfo
     uses_streams: bool = True
+    lod_variant: str | None = None
+
+
+LOD_VARIANTS = ("addr", "branch")
 
 
 def lower_sma(
-    kernel: Kernel, base: int = 16, use_streams: bool = True
+    kernel: Kernel,
+    base: int = 16,
+    use_streams: bool = True,
+    lod_variant: str | None = None,
 ) -> LoweredSMA:
     """Compile ``kernel`` for the SMA machine.
 
     ``use_streams=False`` selects the per-element (plain-DAE) ablation.
+
+    ``lod_variant`` deliberately lowers to a loss-of-decoupling-heavy
+    shape (experiments R-T7/R-F9 — the workloads speculation targets):
+
+    - ``"addr"``: every indirect *read* subscript is rewritten to a
+      :class:`Computed` subscript, so the EP computes each gather index
+      and round-trips it through ``EAQ`` (``lod_eaq`` per element).
+    - ``"branch"``: the per-element ablation with the innermost AP
+      back-edge turned into ``BQNZ`` on a loop-continue flag the EP
+      pushes through ``EBQ`` each iteration (``lod_ebq`` per element).
+      Forces ``use_streams=False``.
     """
-    gen = _SMAGen(kernel, base, use_streams)
+    if lod_variant is not None and lod_variant not in LOD_VARIANTS:
+        raise LoweringError(
+            f"unknown lod_variant {lod_variant!r}; expected one of "
+            f"{LOD_VARIANTS}"
+        )
+    if lod_variant == "addr":
+        kernel = _indirect_reads_to_computed(kernel)
+    elif lod_variant == "branch":
+        use_streams = False
+    gen = _SMAGen(kernel, base, use_streams, lod_variant=lod_variant)
     ap, ep, info = gen.generate()
-    return LoweredSMA(kernel, ap, ep, gen.layout, info, use_streams)
+    return LoweredSMA(kernel, ap, ep, gen.layout, info, use_streams,
+                      lod_variant)
+
+
+def _indirect_reads_to_computed(kernel: Kernel) -> Kernel:
+    """Rewrite every indirect *read* ``a[b[i]]`` to the computed form
+    ``a[expr(b[i])]`` (write targets untouched) — semantics are identical,
+    but each gather index now round-trips EP → EAQ → AP."""
+
+    def fix_expr(e: Expr) -> Expr:
+        if isinstance(e, Ref):
+            index = e.index
+            if isinstance(index, Indirect):
+                return Ref(e.array, Computed(index.ref))
+            if isinstance(index, Computed):
+                return Ref(e.array, Computed(fix_expr(index.expr)))
+            return e
+        if isinstance(e, BinOp):
+            return BinOp(e.op, fix_expr(e.lhs), fix_expr(e.rhs))
+        if isinstance(e, UnOp):
+            return UnOp(e.op, fix_expr(e.operand))
+        if isinstance(e, Select):
+            cond = Cmp(e.cond.op, fix_expr(e.cond.lhs), fix_expr(e.cond.rhs))
+            return Select(cond, fix_expr(e.iftrue), fix_expr(e.iffalse))
+        return e  # Const
+
+    def fix_stmt(s):
+        if isinstance(s, Loop):
+            return Loop(s.var, s.count,
+                        tuple(fix_stmt(b) for b in s.body), s.start)
+        if isinstance(s, Assign):
+            return Assign(s.dest, fix_expr(s.expr))
+        assert isinstance(s, Reduce)
+        return Reduce(s.op, s.dest, fix_expr(s.expr), s.init)
+
+    return Kernel(kernel.name, kernel.arrays,
+                  tuple(fix_stmt(s) for s in kernel.body),
+                  kernel.description)
 
 
 # ---------------------------------------------------------------------------
@@ -212,10 +277,12 @@ class _SMAGen:
         num_lq: int = 8,
         num_sdq: int = 4,
         num_iq: int = 4,
+        lod_variant: str | None = None,
     ):
         self.kernel = kernel
         self.layout = layout_arrays(kernel, base)
         self.use_streams = use_streams
+        self.lod_variant = lod_variant
         self.num_lq, self.num_sdq, self.num_iq = num_lq, num_sdq, num_iq
         self.ap = ProgramBuilder(f"{kernel.name}.sma.access")
         self.ep = ProgramBuilder(f"{kernel.name}.sma.execute")
@@ -625,7 +692,8 @@ class _SMAGen:
 
         counter = self.aregs.alloc()
         scratch = self.aregs.alloc()
-        self.ap.op(Op.MOV, counter, Imm(loop.count))
+        if self.lod_variant != "branch":
+            self.ap.op(Op.MOV, counter, Imm(loop.count))
         top = self.ap.new_label("elem")
         self.ap.label(top)
         for kind, item in steps:
@@ -676,7 +744,12 @@ class _SMAGen:
             stride = index.coeff(loop.var)
             if stride:
                 self.ap.op(Op.ADD, reg, reg, Imm(stride))
-        self.ap.op(Op.DECBNZ, counter, Label(top))
+        if self.lod_variant == "branch":
+            # the EP sends a continue flag through EBQ each iteration:
+            # the AP's trip count is execute-resolved (lod_ebq per element)
+            self.ap.op(Op.BQNZ, None, Label(top))
+        else:
+            self.ap.op(Op.DECBNZ, counter, Label(top))
         self.aregs.free(scratch)
         self.aregs.free(counter)
         for reg in ptrs.values():
@@ -761,6 +834,13 @@ class _SMAGen:
                     self.xregs.free(t)
         for reg in prologue_regs:
             self.xregs.free(reg)
+        if self.lod_variant == "branch":
+            # push the loop-continue flag (counter - 1, nonzero while more
+            # iterations remain) the AP's BQNZ back-edge is waiting on
+            flag = self.xregs.alloc()
+            self.ep.op(Op.SUB, flag, counter, Imm(1))
+            self.ep.op(Op.MOV, EBQ, flag)
+            self.xregs.free(flag)
         self.ep.op(Op.DECBNZ, counter, Label(top))
         self.xregs.free(counter)
         for read in plan.reads:

@@ -142,6 +142,29 @@ class BankedMemory:
             self.stats.completions += 1
             callback(result)
 
+    def squash_completions(self, slots) -> int:
+        """Remove in-flight completions that would fill one of ``slots``
+        (speculative rollback, PR 8).  Load-completion callbacks carry
+        their target slot as a bound default (the same encoding the
+        checkpoint layer introspects), so matching is by slot identity;
+        completions for other consumers are untouched.  Returns the
+        number of completions squashed."""
+        if not self._completions:
+            return 0
+        ids = {id(s) for s in slots}
+        keep = []
+        removed = 0
+        for entry in self._completions:
+            defaults = getattr(entry[2], "__defaults__", None) or ()
+            if any(id(d) in ids for d in defaults):
+                removed += 1
+            else:
+                keep.append(entry)
+        if removed:
+            heapq.heapify(keep)
+            self._completions = keep
+        return removed
+
     def quiescent(self) -> bool:
         """True when no request is in flight."""
         return not self._completions

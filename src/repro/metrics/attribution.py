@@ -14,18 +14,23 @@ Priority order (first match wins; documented in ARCHITECTURE.md §14):
    i.e. the access side is serialized behind the execute side.  Checked
    before ``compute`` so an EP retire during an LOD episode doesn't mask
    the recurrence (matches the R-T4 accounting).
-2. ``compute`` — the AP or the EP retired an instruction this cycle.
-3. ``queue_full`` — a processor is blocked pushing into a full queue
+2. ``misspeculation`` — the speculative AP is repaying a rollback
+   (``misspeculation``) or held at a descriptor speculation barrier
+   (``spec_barrier``); like LOD, checked before ``compute`` so an EP
+   retire doesn't mask the recovery cost (the AP-retire check still
+   wins: a cycle where the AP itself advanced is ``compute``).
+3. ``compute`` — the AP or the EP retired an instruction this cycle.
+4. ``queue_full`` — a processor is blocked pushing into a full queue
    (EP ``q_full``; AP ``queue_full``/``saq_full``/``stream_slots``/
    ``stream_queue_busy``), or the stream engine was blocked by a full
    target queue this cycle.
-4. ``queue_empty`` — a processor is blocked popping an empty queue
+5. ``queue_empty`` — a processor is blocked popping an empty queue
    (EP ``lq_empty``; AP ``iq_empty``).
-5. ``bank_busy`` — the AP is stalled on ``memory_busy``, or the stream
+6. ``bank_busy`` — the AP is stalled on ``memory_busy``, or the stream
    engine had work but could not issue (bank/port contention).
-6. ``store_wait`` — only the store unit made wait progress (waiting for
+7. ``store_wait`` — only the store unit made wait progress (waiting for
    store data from the EP or for a bank to accept the store).
-7. ``drain`` — none of the above: end-of-run settling while in-flight
+8. ``drain`` — none of the above: end-of-run settling while in-flight
    memory traffic completes.
 
 Fast-forward compatibility: the machine calls :meth:`on_cycle` from
@@ -51,6 +56,7 @@ from .registry import MetricsRegistry, StrideSampler, register_stats
 STALL_BUCKETS = (
     "compute",
     "loss_of_decoupling",
+    "misspeculation",
     "queue_full",
     "queue_empty",
     "bank_busy",
@@ -62,6 +68,9 @@ STALL_BUCKETS = (
 SCALAR_BUCKETS = ("compute", "memory_wait", "bank_busy", "store_drain")
 
 _AP_LOD = ("lod_eaq", "lod_ebq")
+#: speculative-AP recovery/barrier stalls (repro.core.speculation):
+#: rollback penalty cycles and descriptor speculation barriers
+_AP_MISSPEC = ("misspeculation", "spec_barrier")
 _AP_QUEUE_FULL = (
     "queue_full", "saq_full", "stream_slots", "stream_queue_busy"
 )
@@ -124,6 +133,11 @@ class SMAMachineMetrics:
         engine_blocked = blocked != self._prev_blocked
         if ap_stall in _AP_LOD:
             bucket = "loss_of_decoupling"
+        elif ap_stall in _AP_MISSPEC and ap_i == self._prev_ap:
+            # speculation recovery: the AP is frozen repaying a rollback
+            # (or held at a descriptor barrier); an EP retire this cycle
+            # must not mask the recovery cost, mirroring the LOD rule
+            bucket = "misspeculation"
         elif ap_i != self._prev_ap or ep_i != self._prev_ep:
             bucket = "compute"
         elif (

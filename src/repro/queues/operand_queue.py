@@ -39,6 +39,11 @@ from ..errors import QueueError
 class _Slot:
     filled: bool = False
     value: Any = None
+    #: speculative taint (PR 8): a poisoned slot was produced by the AP
+    #: while running ahead of an unresolved prediction.  ``head_ready``
+    #: hides poisoned heads from non-speculative consumers (EP, store
+    #: unit); commit clears the flag, rollback removes the slot.
+    poisoned: bool = False
 
 
 class LoadOccupancyAggregate:
@@ -99,7 +104,7 @@ class OperandQueue:
 
     __slots__ = (
         "name", "capacity", "_slots", "stats",
-        "_lazy", "_clock", "_synced", "_agg",
+        "_lazy", "_clock", "_synced", "_agg", "_tap",
     )
 
     def __init__(self, name: str, capacity: int):
@@ -115,6 +120,9 @@ class OperandQueue:
         self._clock: list[int] | None = None
         self._synced = 0
         self._agg: LoadOccupancyAggregate | None = None
+        #: optional pop recorder (speculation oracle pre-run): when set to
+        #: a list, every popped value is appended to it.
+        self._tap: list | None = None
 
     # -- event-driven occupancy accounting --------------------------------
 
@@ -164,9 +172,12 @@ class OperandQueue:
         token.value = value
         self.stats.pushes += 1
 
-    def push(self, value: Any) -> None:
-        """Reserve and fill in one step (locally produced values)."""
-        self.fill(self.reserve(), value)
+    def push(self, value: Any) -> _Slot:
+        """Reserve and fill in one step (locally produced values).
+        Returns the slot so a speculative producer can poison-tag it."""
+        slot = self.reserve()
+        self.fill(slot, value)
+        return slot
 
     def note_full_stall(self) -> None:
         """Record that a producer stalled on this queue this cycle."""
@@ -175,8 +186,14 @@ class OperandQueue:
     # -- consumer side --------------------------------------------------
 
     def head_ready(self) -> bool:
-        """True if the oldest slot exists and has been filled."""
-        return bool(self._slots) and self._slots[0].filled
+        """True if the oldest slot exists, has been filled and is not
+        speculatively poisoned (non-speculative consumers must not see
+        run-ahead data before its prediction commits)."""
+        return (
+            bool(self._slots)
+            and self._slots[0].filled
+            and not self._slots[0].poisoned
+        )
 
     def pop(self) -> Any:
         """Remove and return the head value; head must be ready."""
@@ -188,7 +205,10 @@ class OperandQueue:
             if self._agg is not None:
                 self._agg.change(self._clock[0], -1)
         self.stats.pops += 1
-        return self._slots.popleft().value
+        value = self._slots.popleft().value
+        if self._tap is not None:
+            self._tap.append(value)
+        return value
 
     def peek(self) -> Any:
         """Return the head value without removing it; head must be ready."""
@@ -199,6 +219,65 @@ class OperandQueue:
     def note_empty_stall(self) -> None:
         """Record that a consumer stalled on this queue this cycle."""
         self.stats.empty_stalls += 1
+
+    # -- speculative consumer side (PR 8) ---------------------------------
+    #
+    # The speculative AP needs slot *identities*, not just values: every
+    # pop it performs while a prediction is pending must be undoable (the
+    # slot goes back to the head on rollback), and every slot it reserves
+    # must be removable.  These helpers mirror pop()'s occupancy
+    # bookkeeping; stats are deliberately NOT undone on rollback — wrong-
+    # path traffic is real work the machine did.
+
+    def head_filled(self) -> bool:
+        """True if the head slot is filled, poisoned or not (the
+        speculative AP may consume its own run-ahead data)."""
+        return bool(self._slots) and self._slots[0].filled
+
+    def pop_slot(self) -> _Slot:
+        """Pop and return the head *slot* (filled, poison allowed)."""
+        if not self.head_filled():
+            raise QueueError(f"{self.name}: pop_slot on empty/unfilled head")
+        if self._lazy:
+            if self._clock[0] > self._synced:
+                self._lazy_flush()
+            if self._agg is not None:
+                self._agg.change(self._clock[0], -1)
+        self.stats.pops += 1
+        slot = self._slots.popleft()
+        if self._tap is not None:
+            self._tap.append(slot.value)
+        return slot
+
+    def unpop_slot(self, slot: _Slot) -> None:
+        """Rollback inverse of :meth:`pop_slot`: restore ``slot`` to the
+        head.  Call in reverse pop order.
+
+        May transiently exceed ``capacity``: a producer can legitimately
+        have refilled the queue after the (now-undone) speculative pop.
+        Producers poll :meth:`can_reserve`, so the overflow only delays
+        them — it never corrupts state."""
+        if self._lazy:
+            if self._clock[0] > self._synced:
+                self._lazy_flush()
+            if self._agg is not None:
+                self._agg.change(self._clock[0], 1)
+        self._slots.appendleft(slot)
+
+    def remove_slot(self, slot: _Slot) -> None:
+        """Squash a speculatively reserved slot, wherever it sits.
+        Matches by identity — slots compare by value, and distinct slots
+        can hold equal values."""
+        for i, s in enumerate(self._slots):
+            if s is slot:
+                if self._lazy:
+                    if self._clock[0] > self._synced:
+                        self._lazy_flush()
+                    if self._agg is not None:
+                        self._agg.change(self._clock[0], -1)
+                del self._slots[i]
+                return
+        raise QueueError(f"{self.name}: remove_slot on absent slot")
 
     # -- scheduling contract ---------------------------------------------
 
@@ -229,7 +308,14 @@ class OperandQueue:
 
         st = self.stats
         return {
-            "slots": [[s.filled, _enc(s.value)] for s in self._slots],
+            # poisoned slots append a third element so non-speculative
+            # snapshots keep the seed [filled, value] encoding (and its
+            # digests) byte-identical
+            "slots": [
+                [s.filled, _enc(s.value), True] if s.poisoned
+                else [s.filled, _enc(s.value)]
+                for s in self._slots
+            ],
             "stats": {
                 "pushes": st.pushes,
                 "pops": st.pops,
@@ -257,7 +343,9 @@ class OperandQueue:
 
         self._slots.clear()
         self._slots.extend(
-            _Slot(filled=f, value=_dec(v)) for f, v in data["slots"]
+            _Slot(filled=entry[0], value=_dec(entry[1]),
+                  poisoned=bool(entry[2:] and entry[2]))
+            for entry in data["slots"]
         )
         st, src = self.stats, data["stats"]
         st.pushes = src["pushes"]
@@ -273,6 +361,7 @@ class OperandQueue:
         self._clock = None
         self._agg = None
         self._synced = 0
+        self._tap = None
 
     # -- introspection ---------------------------------------------------
 

@@ -52,7 +52,8 @@ class TestRegistry:
     def test_all_ten_experiments_registered(self):
         assert sorted(EXPERIMENTS) == [
             "R-F1", "R-F2", "R-F3", "R-F4", "R-F5", "R-F6", "R-F7", "R-F8",
-            "R-T1", "R-T2", "R-T3", "R-T4", "R-T5", "R-T6",
+            "R-F9",
+            "R-T1", "R-T2", "R-T3", "R-T4", "R-T5", "R-T6", "R-T7",
         ]
 
     def test_unknown_experiment(self):

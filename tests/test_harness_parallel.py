@@ -190,6 +190,41 @@ class TestHarnessRegressions:
         assert elapsed >= backoff
 
 
+class TestSerialFailureHandling:
+    def test_raising_kernel_records_exception_type(self):
+        # the serial retry loop must both retry a genuinely raising job
+        # and leave an audit trail of *what* raised in the sweep stats
+        from repro.errors import KernelError
+        from repro.harness import harness_policy
+
+        with harness_policy() as stats:
+            with pytest.raises(KernelError, match="unknown kernel"):
+                run_jobs([Job("sma", "no-such-kernel", 16)],
+                         retries=2, backoff=0.0)
+        assert stats.failures == {"KernelError": 3}
+        assert stats.retried == 2
+        assert "KernelError×3" in stats.summary()
+
+    @pytest.mark.parametrize("abort", [KeyboardInterrupt, SystemExit])
+    def test_user_abort_propagates_without_retry(self, monkeypatch,
+                                                 abort):
+        # ctrl-C (or a SystemExit from a signal handler) must escape the
+        # serial path immediately — not be swallowed and retried like an
+        # ordinary job failure
+        from repro.harness import harness_policy
+
+        def boom(job):
+            raise abort()
+
+        monkeypatch.setattr(parallel, "run_job", boom)
+        with harness_policy() as stats:
+            with pytest.raises(abort):
+                run_jobs([Job("sma", "daxpy", 16, sma_config=SMA_CFG)],
+                         retries=3, backoff=0.0)
+        assert stats.retried == 0
+        assert stats.failures == {}
+
+
 class TestExperimentsThroughJobs:
     def test_experiment_identical_serial_vs_parallel(self):
         kwargs = dict(n=16, depths=(1, 4), kernels=("daxpy",))

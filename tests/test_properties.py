@@ -44,6 +44,7 @@ from repro.kernels import (
     UnOp,
     run_reference,
 )
+from repro.kernels import Computed as ComputedOf
 from repro.kernels import Indirect as IndirectOf
 from repro.kernels.regalloc import RegAlloc
 from repro.memory import BankedMemory, MainMemory
@@ -507,3 +508,130 @@ def test_random_reduction_kernels(n, op, init, seed):
         "out": np.zeros(1),
     }
     _check_all_machines(kernel, inputs)
+
+
+# ---------------------------------------------------------------------------
+# loss-of-decoupling event accounting across every execution engine
+# ---------------------------------------------------------------------------
+#
+# The naive step counts a LOD episode on any transition into a ``lod_*``
+# stall, while the fast step's FROMQ path tests ``cause != "iq_empty"``
+# and the batch engine keeps its own per-lane transition mask.  A kernel
+# whose AP alternates ``lod_eaq`` -> ``iq_empty`` -> ``lod_eaq`` every
+# element is exactly where those three conditions could drift apart, so
+# the property pins (lod_events, every stall bucket, cycles) across all
+# registered schedulers, the batch engine, and a snapshot/restore taken
+# in the middle of a LOD stall.
+
+
+def _lod_mix_kernel(n: int) -> Kernel:
+    """Per-element lowering interleaves a gather (``fromq iq`` ->
+    ``iq_empty``) with an EP-computed subscript (``fromq eaq`` ->
+    ``lod_eaq``) in every iteration."""
+    i1 = Affine.of(i=1)
+    return Kernel(
+        "lod_mix",
+        (ArrayDecl("out", n), ArrayDecl("a", n),
+         ArrayDecl("ix", n), ArrayDecl("v", n)),
+        (Loop("i", n, (
+            Assign(Ref("out", i1), BinOp(
+                "+",
+                Ref("a", IndirectOf(Ref("ix", i1))),
+                Ref("a", ComputedOf(Ref("v", i1))),
+            )),
+        )),),
+    )
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    n=st.integers(min_value=4, max_value=12),
+    latency=st.integers(min_value=6, max_value=32),
+    depth=st.integers(min_value=2, max_value=8),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+def test_lod_events_agree_across_engines(n, latency, depth, seed):
+    import json as _json
+
+    from repro.batch.engine import LaneEngine
+    from repro.config import QueueConfig, SMAConfig
+    from repro.core import SMAMachine
+    from repro.harness.runner import _fit_memory, _load_inputs
+    from repro.kernels.lower_sma import lower_sma
+
+    kernel = _lod_mix_kernel(n)
+    rng = np.random.default_rng(seed)
+    inputs = {
+        "out": np.zeros(n),
+        "a": rng.uniform(1.0, 2.0, n),
+        "ix": rng.permutation(n).astype(np.float64),
+        "v": rng.permutation(n).astype(np.float64),
+    }
+    lowered = lower_sma(kernel, use_streams=False)
+    cfg = SMAConfig(
+        memory=_fit_memory(
+            MemoryConfig(latency=latency, bank_busy=max(1, latency // 2)),
+            lowered.layout,
+        ),
+        queues=QueueConfig(
+            load_queue_depth=depth, store_data_depth=depth,
+            store_addr_depth=depth, index_queue_depth=depth,
+        ),
+    )
+
+    def fresh():
+        m = SMAMachine(
+            lowered.access_program, lowered.execute_program, cfg
+        )
+        _load_inputs(m, lowered.layout, kernel, inputs)
+        return m
+
+    baseline = fresh().run(scheduler="naive")
+    key = (baseline.lod_events, dict(baseline.ap.stall_cycles),
+           baseline.cycles)
+    # the pattern under test actually occurred
+    assert baseline.ap.stall_cycles.get("lod_eaq", 0) > 0
+    assert baseline.ap.stall_cycles.get("iq_empty", 0) > 0
+    assert baseline.lod_events >= 2
+
+    for scheduler in SMAMachine.SCHEDULERS:
+        res = fresh().run(scheduler=scheduler)
+        got = (res.lod_events, dict(res.ap.stall_cycles), res.cycles)
+        assert got == key, scheduler
+
+    # batch engine, staged exactly like dispatch.run_group
+    touched = lowered.layout.end + 16
+    for program in (lowered.access_program, lowered.execute_program):
+        for base, values in program.data:
+            touched = max(touched, base + len(values))
+    image = np.zeros(min(touched, cfg.memory.size), dtype=np.float64)
+    for program in (lowered.access_program, lowered.execute_program):
+        for base, values in program.data:
+            image[base:base + len(values)] = np.asarray(
+                values, dtype=np.float64
+            )
+    for decl in kernel.arrays:
+        arr = np.asarray(inputs[decl.name], dtype=np.float64)
+        image[lowered.layout.base(decl.name):][:arr.shape[0]] = arr
+    lane = LaneEngine(
+        lowered.access_program, lowered.execute_program, [cfg],
+        image, logical_size=cfg.memory.size,
+    ).run().stats.lane_dict(0)
+    assert lane["lod_events"] == key[0]
+    assert lane["ap_stalls"] == key[1]
+    assert lane["cycles"] == key[2]
+
+    # snapshot/restore taken while the AP is parked in a lod_* stall
+    source = fresh()
+    for _ in range(200_000):
+        if (source.ap._stalled_on or "").startswith("lod_"):
+            break
+        source.step_cycle()
+    else:
+        raise AssertionError("never reached a lod_* stall")
+    snap = _json.loads(_json.dumps(source.snapshot()))
+    resumed = fresh()
+    resumed.restore(snap)
+    res = resumed.run()
+    assert (res.lod_events, dict(res.ap.stall_cycles),
+            res.cycles) == key
