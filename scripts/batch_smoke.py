@@ -4,14 +4,22 @@
 Runs a small latency x queue-depth grid of three kernels — a pure
 streaming kernel, a loss-of-decoupling recurrence, and a computed
 gather — through the batch engine with per-lane output verification
-armed, then re-executes a random subsample of lanes on the scalar
-interpreter and requires the *full result dict* to match exactly:
-cycles, instruction counts, every stall bucket (keys, order, counts),
-memory traffic, and occupancy statistics.
+armed, in all three execution modes:
+
+* the program-specialized batch lane stepper with saturation collapse
+  (``compiled=None``, the default dispatch path),
+* the interpreted SoA loop (``compiled=False``), and
+* the stepper sharded over two worker processes (``workers=2``).
+
+All three must produce bit-identical result dicts for every grid
+point, and a random subsample of lanes is additionally re-executed on
+the scalar interpreter and required to match the *full result dict*
+exactly: cycles, instruction counts, every stall bucket (keys, order,
+counts), memory traffic, and occupancy statistics.
 
 Exit status is non-zero on any divergence, so the workflow fails
-loudly if the lockstep engine ever drifts from the reference
-interpreter.
+loudly if the lockstep engine (or its compiled specialization) ever
+drifts from the reference interpreter.
 
 Usage::
 
@@ -28,7 +36,7 @@ from repro.harness.jobs import BatchJob, run_job
 
 KERNELS = ("daxpy", "tridiag", "computed_gather")
 LATENCIES = (1, 4, 16, 64)
-QUEUE_DEPTHS = (1, 4, 8)
+QUEUE_DEPTHS = (1, 4, 8, 32)
 N = 48
 SUBSAMPLE = 10
 
@@ -48,6 +56,20 @@ def main() -> int:
         print(f"FAIL: batch engine skipped lanes {missing}",
               file=sys.stderr)
         return 1
+
+    # the compiled stepper (+ saturation collapse) and the sharded run
+    # must be indistinguishable from the interpreted SoA engine on
+    # every grid point, not just a subsample
+    for label, variant in (
+        ("interpreted", run_batch(jobs, compiled=False)),
+        ("sharded (workers=2)", run_batch(jobs, workers=2)),
+    ):
+        bad = [i for i in results if variant.get(i) != results[i]]
+        if bad:
+            print(f"FAIL: {label} batch run diverges from the default "
+                  f"dispatch path at lanes {bad[:8]}"
+                  f"{'...' if len(bad) > 8 else ''}", file=sys.stderr)
+            return 1
 
     rng = random.Random(1983)
     sample = sorted(rng.sample(range(len(jobs)), SUBSAMPLE))
@@ -69,7 +91,8 @@ def main() -> int:
         return 1
     print(f"batch smoke OK: {len(jobs)} lanes run "
           f"({len(KERNELS)} kernels x {len(LATENCIES)} latencies x "
-          f"{len(QUEUE_DEPTHS)} depths, outputs verified), "
+          f"{len(QUEUE_DEPTHS)} depths, outputs verified) in compiled, "
+          f"interpreted and sharded modes (bit-identical), "
           f"{len(sample)} lanes re-checked bit-exact against the "
           f"scalar interpreter")
     return 0

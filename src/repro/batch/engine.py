@@ -223,6 +223,10 @@ class LaneEngine:
                     "batch engine does not model fault injection"
                 )
         self.qlay = qlay
+        # kept for the batch-codegen cache key (program text is what
+        # the emitter specializes on)
+        self.access_program = access_program
+        self.execute_program = execute_program
         self.ap_prog = D.decode_access(access_program, qlay)
         self.ep_prog = D.decode_execute(execute_program, qlay)
         self.ap_len = len(self.ap_prog)
@@ -280,6 +284,12 @@ class LaneEngine:
         self.q_count = np.zeros((L, NQ), dtype=i64)
         self.q_cap = caps
         self.saq_dqi = np.zeros((L, CAP), dtype=i64)
+        #: per-queue occupancy high-water marks, maintained by the
+        #: compiled stepper when ``track_saturation`` is set; the
+        #: saturation-collapse planner (:mod:`repro.batch.dispatch`)
+        #: uses them to prove deep-queue lanes bit-identical to a probe
+        self.q_peak = np.zeros((L, NQ), dtype=i64)
+        self.track_saturation = False
 
         self.st_kind = np.zeros((L, S), dtype=i64)
         self.st_base = np.zeros((L, S), dtype=i64)
@@ -360,6 +370,8 @@ class LaneEngine:
         self.q_vals[lanes, qid, slot] = values
         self.q_fill[lanes, qid, slot] = fill
         self.q_count[lanes, qid] += 1
+        if self.track_saturation:
+            np.maximum.at(self.q_peak, (lanes, qid), self.q_count[lanes, qid])
         return slot
 
     def _as_addr(self, values) -> np.ndarray:
@@ -859,11 +871,48 @@ class LaneEngine:
 
     # -- the run loop ----------------------------------------------------
 
+    def _deadlock_error(self, lane: int, deadlock_window: int) -> None:
+        """Raise the deadlock diagnostic for one overdue lane (shared by
+        the interpreted loop and generated lane steppers)."""
+        raise SimulationError(
+            "deadlock: no forward progress for "
+            f"{deadlock_window} cycles at cycle "
+            f"{int(self.now[lane])} (lane {lane}); "
+            f"AP@{int(self.ap_pc[lane])} "
+            f"halted={bool(self.ap_halt[lane])}; "
+            f"EP@{int(self.ep_pc[lane])} "
+            f"halted={bool(self.ep_halt[lane])}; "
+            f"live streams={int(self.n_live[lane])}"
+        )
+
     def run(
         self,
         max_cycles: int = 10_000_000,
         deadlock_window: int = 10_000,
+        compiled: bool | None = None,
     ) -> BatchOutcome:
+        """Run every lane to completion.
+
+        ``compiled`` selects the stepper: ``None`` (default) uses the
+        program-specialized generated loop when the emitter supports the
+        program, falling back to the interpreted loop; ``True`` requires
+        the generated loop (raises :class:`SimulationError` when the
+        program cannot be specialized); ``False`` forces the
+        interpreted loop.  All three produce bit-identical statistics
+        and memory images.
+        """
+        if compiled is None or compiled:
+            from .cache import get_or_compile
+
+            artifact = get_or_compile(self)
+            if artifact is not None:
+                artifact.fn(self, max_cycles, deadlock_window)
+                return BatchOutcome(stats=self.stats, memory=self.mem)
+            if compiled:
+                raise SimulationError(
+                    "program cannot be specialized by the batch "
+                    "emitter (compiled=True)"
+                )
         st = self.stats
         NL = self.NL
         while True:
@@ -923,17 +972,7 @@ class LaneEngine:
                 > deadlock_window
             ]
             if overdue.size:
-                lane = int(overdue[0])
-                raise SimulationError(
-                    "deadlock: no forward progress for "
-                    f"{deadlock_window} cycles at cycle "
-                    f"{int(self.now[lane])} (lane {lane}); "
-                    f"AP@{int(self.ap_pc[lane])} "
-                    f"halted={bool(self.ap_halt[lane])}; "
-                    f"EP@{int(self.ep_pc[lane])} "
-                    f"halted={bool(self.ep_halt[lane])}; "
-                    f"live streams={int(self.n_live[lane])}"
-                )
+                self._deadlock_error(int(overdue[0]), deadlock_window)
         return BatchOutcome(stats=st, memory=self.mem)
 
     def _idle_jump(

@@ -35,12 +35,17 @@ Commands
     corrupt-cache quarantine actually work.  ``--backend batch`` steps
     the sweep's eligible SMA jobs in lockstep through the SoA batch
     engine (``repro.batch``) — bit-identical results, cached under the
-    same keys.
+    same keys.  ``--batch-workers N`` shards the batch lane groups over
+    N fingerprint-seeded worker processes.
 
 ``batch KERNEL``
     Dense (latency × queue-depth × bank-count) sweep of one kernel
     through the batch engine: thousands of timing configurations as
-    numpy lanes in one process.  Grid axes take comma-separated values
+    numpy lanes in one process.  Eligible lane groups run through the
+    program-specialized batch codegen stepper (saturation-collapsed,
+    bit-identical to the interpreted engine; see
+    ``repro.batch.emitter``), and ``--batch-workers N`` shards them
+    over N worker processes.  Grid axes take comma-separated values
     and inclusive ``LO-HI`` ranges (``--latencies 1,2,4-8``); output is
     one CSV row per grid point, with a points/second summary on stderr.
 
@@ -263,9 +268,14 @@ def cmd_sweep(args) -> int:
         fn = EXPERIMENTS[experiment_id]
         if "backend" in inspect.signature(fn).parameters:
             backend_kwargs["backend"] = args.backend
+            if args.batch_workers != 1:
+                backend_kwargs["batch_workers"] = args.batch_workers
         else:
             print(f"{experiment_id} has no dense SMA sweep; "
                   f"ignoring --backend {args.backend}", file=sys.stderr)
+    elif args.batch_workers != 1:
+        print("--batch-workers only applies with --backend batch; "
+              "ignoring it", file=sys.stderr)
     cache = Path(args.cache)
     cached_entries = list(cache.glob("*.json")) if cache.is_dir() else []
     if cached_entries and not args.resume:
@@ -350,7 +360,8 @@ def cmd_batch(args) -> int:
     jobs = batch_job.expand()
     start = time.perf_counter()
     with harness_policy() as stats:
-        results = run_jobs(jobs, cache_dir=args.cache, backend="batch")
+        results = run_jobs(jobs, cache_dir=args.cache, backend="batch",
+                           batch_workers=args.batch_workers)
     wall = time.perf_counter() - start
     print("latency,queue_depth,banks,cycles,memory_reads,memory_writes,"
           "mean_outstanding_loads")
@@ -534,7 +545,9 @@ def profile_attribution(stats) -> dict[str, float]:
     totals: dict[str, float] = {}
     for (filename, _lineno, _name), entry in stats.stats.items():
         tottime = entry[2]
-        if filename.startswith("<sma-codegen"):
+        if filename.startswith("<sma-batch-codegen"):
+            component = "batch generated code"
+        elif filename.startswith("<sma-codegen"):
             component = "generated code"
         elif f"{os.sep}codegen{os.sep}" in filename:
             component = "codegen compile"
@@ -779,6 +792,11 @@ def build_parser() -> argparse.ArgumentParser:
                          help="run eligible SMA jobs through the SoA "
                               "batch engine (bit-identical, much faster "
                               "on dense grids)")
+    p_sweep.add_argument("--batch-workers", type=int, default=1,
+                         metavar="N",
+                         help="with --backend batch: shard the batch "
+                              "lane groups over N worker processes "
+                              "(default 1: in-driver)")
 
     p_batch = sub.add_parser(
         "batch",
@@ -804,6 +822,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_batch.add_argument("--cache", default=None, metavar="DIR",
                          help="flush per-point results under DIR (same "
                               "keys as the scalar path)")
+    p_batch.add_argument("--batch-workers", type=int, default=1,
+                         metavar="N",
+                         help="shard the grid's lane groups over N "
+                              "worker processes (split along "
+                              "saturation-class lines; default 1 runs "
+                              "everything in the driver process)")
 
     p_ckpt = sub.add_parser(
         "checkpoint",

@@ -98,7 +98,7 @@ def _configs(
 
 def table1_mix(
     n: int = 256, jobs: int = 1, cache_dir: str | None = None,
-    backend: str = "scalar",
+    backend: str = "scalar", batch_workers: int = 1,
 ) -> Table:
     """Instruction mix per kernel: how the SMA split redistributes work.
 
@@ -121,7 +121,8 @@ def table1_mix(
         )
         joblist.append(Job("sma", spec.name, n, sma_config=sma_cfg))
     results = run_jobs(
-        joblist, workers=jobs, cache_dir=cache_dir, backend=backend
+        joblist, workers=jobs, cache_dir=cache_dir, backend=backend,
+        batch_workers=batch_workers,
     )
     for spec, scalar, sma in zip(specs, results[::2], results[1::2]):
         t.add_row(
@@ -149,7 +150,7 @@ def table1_mix(
 def table2_speedup(
     n: int = 256, latency: int = 8,
     jobs: int = 1, cache_dir: str | None = None,
-    backend: str = "scalar",
+    backend: str = "scalar", batch_workers: int = 1,
 ) -> Table:
     """SMA vs scalar baseline over the whole suite (the headline result)."""
     t = Table(
@@ -169,7 +170,8 @@ def table2_speedup(
             Job("sma", spec.name, n, sma_config=sma_cfg, check=True)
         )
     results = run_jobs(
-        joblist, workers=jobs, cache_dir=cache_dir, backend=backend
+        joblist, workers=jobs, cache_dir=cache_dir, backend=backend,
+        batch_workers=batch_workers,
     )
     for spec, scalar, sma in zip(specs, results[::2], results[1::2]):
         t.add_row(
@@ -401,7 +403,7 @@ def fig1_latency(
     latencies: Sequence[int] = (1, 2, 4, 8, 16, 32),
     kernels: Sequence[str] = LATENCY_REPS,
     jobs: int = 1, cache_dir: str | None = None,
-    backend: str = "scalar",
+    backend: str = "scalar", batch_workers: int = 1,
 ) -> Table:
     """Speedup vs memory latency: the decoupled machine's latency
     tolerance is the paper's central claim — speedup *grows* with latency
@@ -422,7 +424,8 @@ def fig1_latency(
                 Job("scalar", name, n, scalar_config=scalar_cfg, check=True)
             )
     results = run_jobs(
-        joblist, workers=jobs, cache_dir=cache_dir, backend=backend
+        joblist, workers=jobs, cache_dir=cache_dir, backend=backend,
+        batch_workers=batch_workers,
     )
     stride = 2 * len(kernels)  # jobs per latency point
     for i, latency in enumerate(latencies):
@@ -446,7 +449,7 @@ def fig2_queue_depth(
     kernels: Sequence[str] = STREAMING_REPS,
     latency: int = 8,
     jobs: int = 1, cache_dir: str | None = None,
-    backend: str = "scalar",
+    backend: str = "scalar", batch_workers: int = 1,
 ) -> Table:
     """SMA cycles vs architectural queue depth: a handful of entries
     (≈ memory latency) buys nearly all of the decoupling."""
@@ -461,7 +464,8 @@ def fig2_queue_depth(
         for name in kernels:
             joblist.append(Job("sma", name, n, sma_config=sma_cfg))
     results = run_jobs(
-        joblist, workers=jobs, cache_dir=cache_dir, backend=backend
+        joblist, workers=jobs, cache_dir=cache_dir, backend=backend,
+        batch_workers=batch_workers,
     )
     width = len(kernels)
     for i, depth in enumerate(depths):
@@ -513,7 +517,7 @@ def fig4_banks(
     kernels: Sequence[str] = BANK_REPS,
     latency: int = 8,
     jobs: int = 1, cache_dir: str | None = None,
-    backend: str = "scalar",
+    backend: str = "scalar", batch_workers: int = 1,
 ) -> Table:
     """Words per cycle vs interleaving degree, for strides 1/2/5/8: the
     stride-vs-banks aliasing structure is the classic interleave result."""
@@ -528,7 +532,8 @@ def fig4_banks(
         for name in kernels:
             joblist.append(Job("sma", name, n, sma_config=sma_cfg))
     results = run_jobs(
-        joblist, workers=jobs, cache_dir=cache_dir, backend=backend
+        joblist, workers=jobs, cache_dir=cache_dir, backend=backend,
+        batch_workers=batch_workers,
     )
     width = len(kernels)
     for i, nb in enumerate(banks):
@@ -552,7 +557,7 @@ def fig4_banks(
 def fig5_ablation(
     n: int = 256, kernels: Sequence[str] = ABLATION_REPS,
     jobs: int = 1, cache_dir: str | None = None,
-    backend: str = "scalar",
+    backend: str = "scalar", batch_workers: int = 1,
 ) -> Table:
     """Structured descriptors ON vs OFF (per-element DAE): the access
     processor's instruction bandwidth becomes the bottleneck without
@@ -569,7 +574,8 @@ def fig5_ablation(
         joblist.append(Job("sma", name, n, sma_config=sma_cfg))
         joblist.append(Job("sma-nostream", name, n, sma_config=sma_cfg))
     results = run_jobs(
-        joblist, workers=jobs, cache_dir=cache_dir, backend=backend
+        joblist, workers=jobs, cache_dir=cache_dir, backend=backend,
+        batch_workers=batch_workers,
     )
     for name, stream, elem in zip(kernels, results[::2], results[1::2]):
         t.add_row(

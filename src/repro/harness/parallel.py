@@ -250,6 +250,7 @@ def run_jobs(
     cache_dir: str | Path | None = None,
     *,
     backend: str = "scalar",
+    batch_workers: int = 1,
     timeout: float | None = None,
     retries: int | None = None,
     backoff: float | None = None,
@@ -269,6 +270,11 @@ def run_jobs(
     lockstep — and only the remainder through the scalar path.  Batch
     results are flushed under the same :func:`job_key`, so a cached batch
     sweep and a cached scalar sweep are interchangeable.
+    ``batch_workers > 1`` additionally shards the batch lane groups
+    across a fingerprint-seeded process pool (one sub-batch per worker,
+    split along saturation-class lines); results are flushed to the
+    cache as each shard lands, so a killed sweep loses at most the
+    in-flight shards.
 
     The keyword-only robustness knobs default to the ambient
     :class:`HarnessPolicy` (see :func:`harness_policy` /
@@ -315,18 +321,19 @@ def run_jobs(
     if pending and backend == "batch" and inject is None:
         from ..batch import run_batch
 
-        ran = run_batch([jobs[i] for i in pending])
-        leftover = []
-        for pos, i in enumerate(pending):
-            result = ran.get(pos)
-            if result is None:
-                leftover.append(i)
-                continue
+        batch_jobs = [jobs[i] for i in pending]
+
+        def _land(pos: int, result: dict) -> None:
+            i = pending[pos]
             results[i] = result
             stats.executed += 1
             if cache is not None:
                 _flush(cache, job_key(jobs[i]), result, stats, inject)
-        pending = leftover
+
+        ran = run_batch(
+            batch_jobs, workers=batch_workers, on_result=_land
+        )
+        pending = [i for pos, i in enumerate(pending) if pos not in ran]
 
     if pending:
         if workers > 1:
