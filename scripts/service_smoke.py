@@ -1,0 +1,188 @@
+#!/usr/bin/env python
+"""Sweep-service smoke (CI).
+
+Usage::
+
+    PYTHONPATH=src python scripts/service_smoke.py [--n N]
+
+Proves the service stack end to end against a *real* ``repro serve``
+subprocess on a duplicate-heavy R-F1 slice:
+
+* **coalescing** — two concurrent clients submit the same job grid;
+  every duplicate must coalesce onto (or be served from) the first
+  client's executions, so the service executes each distinct job
+  exactly once.
+* **bit-identity** — both clients' result sets must be byte-identical
+  to a serial in-process ``run_jobs`` of the same grid.
+* **content-addressed dedup** — a second grid varying only a
+  result-irrelevant field (``buckets``) must add index entries but
+  **zero** new blobs.
+* **worker-kill recovery** — a pool worker is SIGKILLed mid-sweep; the
+  scheduler must respawn the pool and finish every job correctly,
+  without re-executing results that already reached the store.
+* **clean drain** — ``POST /v1/shutdown`` must drain in-flight work
+  and exit the server with status 0.
+
+Exit status is non-zero on any violated expectation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+import urllib.request
+from pathlib import Path
+
+try:
+    from repro.harness.experiments import _configs
+    from repro.harness.jobs import Job
+    from repro.harness.parallel import run_jobs
+    from repro.service.client import ServiceClient
+except ImportError:
+    print("run with PYTHONPATH=src", file=sys.stderr)
+    raise
+
+
+def canonical(result: dict) -> str:
+    return json.dumps(result, sort_keys=True, separators=(",", ":"))
+
+
+def grid(n: int, buckets: int = 32) -> list[Job]:
+    """A duplicate-heavy R-F1 slice: the latency sweep's interleaved
+    sma/scalar pairs for two representative kernels."""
+    jobs = []
+    for latency in (2, 4, 8, 16):
+        sma_cfg, scalar_cfg = _configs(latency=latency)
+        for name in ("daxpy", "hydro"):
+            jobs.append(Job("sma", name, n, sma_config=sma_cfg,
+                            check=True, buckets=buckets))
+            jobs.append(Job("scalar", name, n, scalar_config=scalar_cfg,
+                            check=True, buckets=buckets))
+    return jobs
+
+
+def fail(message: str) -> None:
+    print(f"FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--n", type=int, default=96)
+    args = parser.parse_args()
+
+    tmp = Path(tempfile.mkdtemp(prefix="service-smoke-"))
+    server = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve",
+         "--store", str(tmp / "store"), "--workers", "2",
+         "--retries", "3", "--slice-cycles", "2000"],
+        stdout=subprocess.PIPE, stderr=subprocess.DEVNULL, text=True,
+        env={**os.environ, "PYTHONPATH": "src"},
+    )
+    try:
+        line = server.stdout.readline().strip()
+        if "http://" not in line:
+            fail(f"server did not announce a URL: {line!r}")
+        url = line.split()[-1]
+        print(f"server up at {url}")
+        client = ServiceClient(url)
+        jobs = grid(args.n)
+
+        # --- two concurrent clients + a worker kill mid-sweep --------
+        outcomes: dict[str, list] = {}
+
+        def run_client(tag: str) -> None:
+            outcomes[tag] = ServiceClient(url).run(jobs, timeout=480)
+
+        threads = [
+            threading.Thread(target=run_client, args=(tag,))
+            for tag in ("a", "b")
+        ]
+        for thread in threads:
+            thread.start()
+        deadline = time.monotonic() + 60
+        victim = None
+        while time.monotonic() < deadline:
+            stats = client.stats()
+            if stats["running"] > 0 and stats["pool_pids"]:
+                victim = stats["pool_pids"][0]
+                break
+            time.sleep(0.05)
+        if victim is None:
+            fail("sweep never started executing")
+        os.kill(victim, signal.SIGKILL)
+        print(f"killed pool worker {victim} mid-sweep")
+        for thread in threads:
+            thread.join(timeout=480)
+            if thread.is_alive():
+                fail("client did not finish")
+        if set(outcomes) != {"a", "b"}:
+            fail("a client died before returning results")
+
+        # --- bit-identity vs the serial harness -----------------------
+        serial = run_jobs(jobs)
+        for tag, results in outcomes.items():
+            for i, (got, want) in enumerate(zip(results, serial)):
+                if canonical(got) != canonical(want):
+                    fail(f"client {tag} job {i} diverges from serial "
+                         "run_jobs")
+        print(f"both clients bit-identical to serial across "
+              f"{len(jobs)} jobs")
+
+        # --- coalescing / no re-execution of flushed results ----------
+        stats = client.stats()
+        sweep = stats["sweep"]
+        if sweep["executed"] != len(jobs):
+            fail(f"expected {len(jobs)} executions (one per distinct "
+                 f"job), saw {sweep['executed']}")
+        if sweep["coalesced"] + sweep["hits"] < len(jobs):
+            fail(f"duplicate client saw only {sweep['coalesced']} "
+                 f"coalesced + {sweep['hits']} store hits")
+        if sweep["respawns"] < 1:
+            fail("worker kill did not register a pool respawn")
+        print(f"coalescing ok: {sweep['coalesced']} coalesced, "
+              f"{sweep['hits']} hits, {sweep['respawns']} respawn(s), "
+              f"{sweep['retried']} retrie(s)")
+
+        # --- content-addressed dedup across sweeps --------------------
+        before = client.stats()["store"]
+        dup = ServiceClient(url).run(grid(args.n, buckets=7),
+                                     timeout=480)
+        for got, want in zip(dup, serial):
+            if canonical(got) != canonical(want):
+                fail("buckets-varied grid diverges from serial results")
+        after = client.stats()["store"]
+        if after["blobs"] != before["blobs"]:
+            fail(f"byte-identical sweep grew the blob set: "
+                 f"{before['blobs']} -> {after['blobs']}")
+        if after["results"] <= before["results"]:
+            fail("buckets-varied sweep added no index entries")
+        if after["results"] <= after["blobs"]:
+            fail(f"dedup never fired: {after['results']} results vs "
+                 f"{after['blobs']} blobs")
+        print(f"store dedup ok: {after['results']} results share "
+              f"{after['blobs']} blobs")
+
+        # --- clean drain ----------------------------------------------
+        client.shutdown()
+        code = server.wait(timeout=60)
+        if code != 0:
+            fail(f"server exited {code} after drain")
+        print("clean drain: server exited 0")
+        print("service smoke: all checks passed")
+        return 0
+    finally:
+        if server.poll() is None:
+            server.kill()
+            server.wait()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

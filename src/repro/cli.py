@@ -38,6 +38,22 @@ Commands
     same keys.  ``--batch-workers N`` shards the batch lane groups over
     N fingerprint-seeded worker processes.
 
+``serve``
+    Sweep-as-a-service: a stdlib asyncio HTTP server over the harness.
+    Clients POST job specs; identical in-flight jobs coalesce onto one
+    execution, the backlog is bounded (429 on overflow), results land
+    in a content-addressed store (byte-identical results share one
+    blob), and preemptible jobs run in checkpointed slices so a
+    drained or crashed worker's job resumes on another worker without
+    lost cycles.  ``--promote DIR`` seeds the store from an existing
+    ``sweep`` cache.  See ``repro.service``.
+
+``submit ID``
+    Run an experiment's simulation jobs through a running ``serve``
+    instance (``run_jobs(backend="service")``): results stream back as
+    they land and can be flushed into a local ``--cache`` for offline
+    reuse.
+
 ``batch KERNEL``
     Dense (latency × queue-depth × bank-count) sweep of one kernel
     through the batch engine: thousands of timing configurations as
@@ -311,6 +327,84 @@ def cmd_sweep(args) -> int:
     else:
         print(table.to_text())
     print(f"\nsweep {experiment_id}: {stats.summary()}", file=sys.stderr)
+    return 0
+
+
+def cmd_serve(args) -> int:
+    import asyncio
+
+    from .harness.parallel import HarnessPolicy
+    from .service import ContentStore, SweepServer
+
+    store = ContentStore(args.store)
+    if args.promote:
+        imported = store.promote(args.promote)
+        print(f"promoted {imported} cached result(s) from {args.promote}",
+              file=sys.stderr)
+    policy = HarnessPolicy(timeout=args.timeout, retries=args.retries)
+    server = SweepServer(
+        store,
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        pool_workers=args.pool_workers,
+        max_backlog=args.max_backlog,
+        policy=policy,
+        slice_cycles=args.slice_cycles,
+    )
+
+    async def serve() -> None:
+        host, port = await server.start()
+        # the bound URL goes to stdout (line-buffered) so wrappers and
+        # the CI smoke can discover a --port 0 allocation
+        print(f"serving on http://{host}:{port}", flush=True)
+        await server.serve_forever()
+
+    try:
+        asyncio.run(serve())
+    except KeyboardInterrupt:
+        print("interrupted; store is consistent (atomic writes)",
+              file=sys.stderr)
+    return 0
+
+
+def cmd_submit(args) -> int:
+    import inspect
+
+    from .harness import harness_policy
+    from .service.client import ServiceClient, ServiceError
+
+    experiment_id = _normalize_experiment_id(args.id)
+    if experiment_id not in EXPERIMENTS:
+        print(f"unknown experiment {args.id!r}; "
+              f"known: {sorted(EXPERIMENTS)}", file=sys.stderr)
+        return 2
+    if not ServiceClient(args.url).healthz():
+        print(f"no sweep service answering at {args.url}",
+              file=sys.stderr)
+        return 2
+    kwargs = {"backend": "service"}
+    if "backend" not in inspect.signature(
+        EXPERIMENTS[experiment_id]
+    ).parameters:
+        print(f"{experiment_id} does not forward a backend; its jobs "
+              "run locally", file=sys.stderr)
+        kwargs = {}
+    if args.cache:
+        kwargs["cache_dir"] = args.cache
+    if args.n is not None:
+        kwargs["n"] = args.n
+    try:
+        with harness_policy(service_url=args.url) as stats:
+            table = run_experiment(experiment_id, **kwargs)
+    except ServiceError as exc:
+        print(f"service run failed: {exc}", file=sys.stderr)
+        return 1
+    if args.csv:
+        print(table.to_csv(), end="")
+    else:
+        print(table.to_text())
+    print(f"\nsubmit {experiment_id}: {stats.summary()}", file=sys.stderr)
     return 0
 
 
@@ -798,6 +892,60 @@ def build_parser() -> argparse.ArgumentParser:
                               "lane groups over N worker processes "
                               "(default 1: in-driver)")
 
+    p_serve = sub.add_parser(
+        "serve",
+        help="sweep-as-a-service: asyncio job server with request "
+             "coalescing and a content-addressed result store",
+    )
+    p_serve.add_argument("--store", required=True, metavar="DIR",
+                         help="content-addressed store root "
+                              "(blobs/ + index/, created if missing)")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=0,
+                         help="listen port (default 0: kernel-assigned; "
+                              "the bound URL is printed on stdout)")
+    p_serve.add_argument("--workers", type=int, default=2, metavar="N",
+                         help="scheduler fleet size (default 2)")
+    p_serve.add_argument("--pool-workers", type=int, default=None,
+                         metavar="N",
+                         help="process-pool size (default: --workers)")
+    p_serve.add_argument("--max-backlog", type=int, default=256,
+                         metavar="N",
+                         help="distinct jobs in flight before further "
+                              "submissions get 429 (default 256)")
+    p_serve.add_argument("--timeout", type=float, default=None,
+                         metavar="SECONDS",
+                         help="per-attempt wall-clock timeout")
+    p_serve.add_argument("--retries", type=int, default=2, metavar="K",
+                         help="retry a failed/timed-out/killed job up "
+                              "to K times (default 2)")
+    p_serve.add_argument("--slice-cycles", type=int, default=None,
+                         metavar="CYCLES",
+                         help="checkpoint interval for preemptible jobs "
+                              "(default 100000)")
+    p_serve.add_argument("--promote", default=None, metavar="DIR",
+                         help="seed the store from an existing "
+                              "'repro sweep' cache directory")
+
+    p_submit = sub.add_parser(
+        "submit",
+        help="run an experiment's simulation jobs through a running "
+             "'repro serve' instance",
+    )
+    p_submit.add_argument(
+        "id", help=f"experiment id ({_experiment_id_summary()})"
+    )
+    p_submit.add_argument("--url", required=True,
+                          help="service base URL, e.g. "
+                               "http://127.0.0.1:8141")
+    p_submit.add_argument("--cache", default=None, metavar="DIR",
+                          help="also flush results into a local harness "
+                               "cache as they stream back")
+    p_submit.add_argument("--n", type=int, default=None,
+                          help="override the experiment's problem size")
+    p_submit.add_argument("--csv", action="store_true",
+                          help="emit CSV instead of the aligned table")
+
     p_batch = sub.add_parser(
         "batch",
         help="dense latency × queue-depth × bank-count sweep of one "
@@ -935,6 +1083,8 @@ _COMMANDS = {
     "compile": cmd_compile,
     "experiment": cmd_experiment,
     "sweep": cmd_sweep,
+    "serve": cmd_serve,
+    "submit": cmd_submit,
     "batch": cmd_batch,
     "checkpoint": cmd_checkpoint,
     "report": cmd_report,

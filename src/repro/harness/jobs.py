@@ -263,10 +263,20 @@ def _run_sma(job: Job, use_streams: bool) -> dict:
         kernel, inputs, job.sma_config, use_streams=use_streams,
         lowered=lowered, metrics=_metrics_armed(),
     )
+    return sma_result_dict(job, run, lowered.info)
+
+
+def sma_result_dict(job: Job, run, info) -> dict:
+    """Assemble the flat SMA result dict from a finished
+    :class:`~repro.harness.runner.KernelRun`.
+
+    Shared between :func:`_run_sma` and the service's sliced executor
+    (:mod:`repro.service.slices`), which finishes a checkpoint-migrated
+    run and must produce a byte-identical dict.
+    """
     if job.check:
         _check_outputs(job, run.machine, run.outputs)
     res = run.result
-    info = lowered.info
     spec = {"speculation": res.speculation} if res.speculation else {}
     return {
         **spec,
@@ -337,21 +347,35 @@ def _run_vector(job: Job) -> dict:
     return {"vectorized": True, "cycles": run.cycles}
 
 
+def cluster_workloads(job: Job) -> list:
+    """The per-node (kernel, inputs) list a cluster job simulates.
+
+    Per-node seeds derive from the job seed: node j gets seed
+    ``job.seed + j``, so jobs differing only in seed measure different
+    inputs (they used to be hard-coded to 100 + j, which silently
+    returned identical results under distinct cache keys).
+    """
+    spec = get_kernel(job.kernel)
+    return [
+        spec.instantiate(job.n, job.seed + j) for j in range(job.nodes)
+    ]
+
+
 def _run_cluster(job: Job) -> dict:
     from .runner import run_cluster
 
-    spec = get_kernel(job.kernel)
-    # per-node seeds derive from the job seed: node j gets seed
-    # job.seed + j, so jobs differing only in seed measure different
-    # inputs (they used to be hard-coded to 100 + j, which silently
-    # returned identical results under distinct cache keys)
-    workloads = [
-        spec.instantiate(job.n, job.seed + j) for j in range(job.nodes)
-    ]
+    workloads = cluster_workloads(job)
     metrics = _metrics_armed()
     result = run_cluster(
         workloads, job.sma_config, check=job.check, metrics=metrics
     )
+    return cluster_result_dict(job, result, metrics)
+
+
+def cluster_result_dict(job: Job, result, metrics: bool = False) -> dict:
+    """Assemble the flat cluster result dict from a finished
+    :class:`~repro.harness.runner.ClusterKernelRun` (shared with the
+    service's sliced executor)."""
     slowdowns = result.interference_slowdowns
     out = {
         "cluster_cycles": result.cluster_cycles,
@@ -384,7 +408,11 @@ def _run_occupancy(job: Job) -> dict:
     from .runner import _fit_memory, _load_inputs
 
     kernel, inputs = _instantiated(job.kernel, job.n, job.seed)
-    lowered = _lowered_sma(job.kernel, job.n, job.seed, True)
+    # the lowering must honor job.lod_variant: the cache key includes the
+    # field via repr(job), so simulating the plain lowering here would
+    # serve a wrong result under a correct-looking key
+    lowered = _lowered_sma(job.kernel, job.n, job.seed, True,
+                           job.lod_variant)
     cfg = job.sma_config or SMAConfig()
     cfg = replace(cfg, memory=_fit_memory(cfg.memory, lowered.layout))
     machine = SMAMachine(

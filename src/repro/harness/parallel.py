@@ -75,6 +75,11 @@ class SweepStats:
     retried: int = 0      #: job re-executions (failure or timeout)
     respawns: int = 0     #: process pools rebuilt after a crash/timeout
     quarantined: int = 0  #: corrupt cache entries moved aside
+    #: identical concurrent submissions folded onto one execution
+    #: (service scheduler only; see :mod:`repro.service`)
+    coalesced: int = 0
+    #: submissions bounced by queue backpressure (service scheduler only)
+    rejected: int = 0
     #: exception type name -> occurrences, across every charged failure
     #: (serial retries and pool retries/timeouts alike)
     failures: dict[str, int] = field(default_factory=dict)
@@ -89,6 +94,9 @@ class SweepStats:
             f"{self.respawns} pool respawns, "
             f"{self.quarantined} quarantined"
         )
+        if self.coalesced or self.rejected:
+            text += (f", {self.coalesced} coalesced, "
+                     f"{self.rejected} rejected")
         if self.failures:
             kinds = ", ".join(
                 f"{name}×{count}"
@@ -116,6 +124,10 @@ class HarnessPolicy:
     backoff: float = 0.25
     #: fault to inject (see :mod:`repro.harness.faults`).
     inject: FaultSpec | None = None
+    #: base URL of a running ``repro serve`` instance; what
+    #: ``run_jobs(backend="service")`` submits to when no explicit
+    #: ``service_url`` argument is given.
+    service_url: str | None = None
     #: shared stats sink; ``run_jobs`` accumulates into it when set.
     stats: SweepStats | None = field(default=None, compare=False)
 
@@ -251,6 +263,7 @@ def run_jobs(
     *,
     backend: str = "scalar",
     batch_workers: int = 1,
+    service_url: str | None = None,
     timeout: float | None = None,
     retries: int | None = None,
     backoff: float | None = None,
@@ -276,20 +289,31 @@ def run_jobs(
     cache as each shard lands, so a killed sweep loses at most the
     in-flight shards.
 
+    ``backend="service"`` submits the uncached jobs to a running
+    ``repro serve`` instance (``service_url`` argument, or the ambient
+    :attr:`HarnessPolicy.service_url`): the server coalesces identical
+    in-flight jobs across clients and serves repeats from its
+    content-addressed store (:mod:`repro.service`).  Results land in the
+    local ``cache_dir`` as they stream back, so a service-backed sweep
+    and a local sweep are resume-interchangeable.
+
     The keyword-only robustness knobs default to the ambient
     :class:`HarnessPolicy` (see :func:`harness_policy` /
     :func:`set_policy`); genuine job exceptions propagate unchanged once
     the retry budget is exhausted.
     """
-    if backend not in ("scalar", "batch"):
+    if backend not in ("scalar", "batch", "service"):
         raise ValueError(
-            f"unknown backend {backend!r}; known: 'scalar', 'batch'"
+            f"unknown backend {backend!r}; "
+            f"known: 'scalar', 'batch', 'service'"
         )
     policy = _POLICY
     timeout = policy.timeout if timeout is None else timeout
     retries = policy.retries if retries is None else retries
     backoff = policy.backoff if backoff is None else backoff
     inject = policy.inject if inject is None else inject
+    service_url = (policy.service_url if service_url is None
+                   else service_url)
     stats = policy.stats if policy.stats is not None else SweepStats()
 
     if inject is not None:
@@ -330,10 +354,57 @@ def run_jobs(
             if cache is not None:
                 _flush(cache, job_key(jobs[i]), result, stats, inject)
 
-        ran = run_batch(
-            batch_jobs, workers=batch_workers, on_result=_land
+        try:
+            ran = run_batch(
+                batch_jobs, workers=batch_workers, on_result=_land
+            )
+        except (KeyboardInterrupt, SystemExit):
+            raise
+        except Exception as exc:
+            # a shard failure (e.g. BrokenProcessPool from a batch
+            # worker) goes through the same charging path as the scalar
+            # pool: record the failure kind, and with retries left fall
+            # back to the scalar path — which carries the full
+            # timeout/retry policy — for whatever has not landed yet
+            stats.record_failure(type(exc).__name__)
+            pending = [i for i in pending if results[i] is None]
+            if retries <= 0:
+                raise
+            stats.retried += 1
+            retries -= 1
+            _LOG.warning(
+                "batch backend failed (%s: %s); falling back to the "
+                "scalar path for %d job(s) with %d retrie(s) left",
+                type(exc).__name__, exc, len(pending), retries,
+            )
+        else:
+            pending = [
+                i for pos, i in enumerate(pending) if pos not in ran
+            ]
+
+    if pending and backend == "service" and inject is None:
+        from ..service.client import ServiceClient
+
+        if service_url is None:
+            raise ValueError(
+                "backend='service' needs a service URL (pass "
+                "service_url= or set HarnessPolicy.service_url)"
+            )
+        client = ServiceClient(service_url)
+
+        def _land_remote(pos: int, result: dict) -> None:
+            i = pending[pos]
+            results[i] = result
+            stats.executed += 1
+            if cache is not None:
+                _flush(cache, job_key(jobs[i]), result, stats, inject)
+
+        client.run(
+            [jobs[i] for i in pending],
+            on_result=_land_remote,
+            timeout=timeout,
         )
-        pending = [i for pos, i in enumerate(pending) if pos not in ran]
+        pending = []
 
     if pending:
         if workers > 1:
@@ -494,7 +565,12 @@ def _run_pool(
                 timeout=poll,
                 return_when=FIRST_COMPLETED,
             )
-            broken = None
+            # record and flush every success in this wait round *before*
+            # touching the failures: charge() raises once a job's retry
+            # budget is gone, and the already-completed pool-mates in the
+            # same `done` set used to be dropped unrecorded — a --resume
+            # rerun then re-executed finished work
+            failed = []
             for future in done:
                 i, _deadline = inflight.pop(future)
                 exc = future.exception()
@@ -506,7 +582,11 @@ def _run_pool(
                         _flush(
                             cache, job_key(jobs[i]), result, stats, inject
                         )
-                elif isinstance(exc, BrokenProcessPool):
+                else:
+                    failed.append((i, exc))
+            broken = None
+            for i, exc in failed:
+                if isinstance(exc, BrokenProcessPool):
                     broken = exc
                     charge(i, "lost to a crashed worker", exc)
                 else:

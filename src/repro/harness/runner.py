@@ -235,6 +235,28 @@ def run_cluster(
     ``"sma-node<i>"``) plus :attr:`ClusterKernelRun.contention` with the
     shared-memory section.
     """
+    cluster, lowered, cfg, node_metrics = _prepare_cluster(
+        jobs, config, metrics=metrics
+    )
+    cluster_result = cluster.run(max_cycles=max_cycles)
+    return _finish_cluster(
+        cluster, lowered, jobs, cfg, cluster_result, check, node_metrics
+    )
+
+
+def _prepare_cluster(
+    jobs: list[tuple[Kernel, Mapping[str, np.ndarray]]],
+    config: SMAConfig | None,
+    metrics: bool = False,
+):
+    """Build the loaded cluster a :func:`run_cluster` call simulates.
+
+    Split out so the service's sliced executor
+    (:mod:`repro.service.slices`) can rebuild the *identical* cluster —
+    construction order included, which the snapshot fingerprint check
+    depends on — restore a checkpoint into it, and keep stepping.
+    Returns ``(cluster, lowered, cfg, node_metrics)``.
+    """
     from ..core.cluster import SMACluster
     from ..kernels import lower_sma as _lower_sma
 
@@ -256,7 +278,14 @@ def run_cluster(
     for (kernel, inputs), low in zip(jobs, lowered):
         for decl in kernel.arrays:
             cluster.load_array(low.layout.base(decl.name), inputs[decl.name])
-    cluster_result = cluster.run(max_cycles=max_cycles)
+    return cluster, lowered, cfg, node_metrics
+
+
+def _finish_cluster(
+    cluster, lowered, jobs, cfg, cluster_result, check, node_metrics
+) -> ClusterKernelRun:
+    """Assemble the :class:`ClusterKernelRun` from a finished cluster
+    (the other half of the :func:`_prepare_cluster` split)."""
     reports: list = []
     contention: dict = {}
     if node_metrics is not None:

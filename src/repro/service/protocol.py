@@ -1,0 +1,114 @@
+"""Wire format: :class:`~repro.harness.jobs.Job` <-> JSON-clean specs.
+
+A job spec is the job's dataclass fields with nested frozen config
+dataclasses encoded as plain dicts (``None`` fields omitted).  Decoding
+rebuilds the exact dataclass tree, so::
+
+    job_from_spec(job_to_spec(job)) == job
+
+holds field-for-field — and therefore ``repr`` (the canonical form
+:func:`repro.harness.parallel.job_key` hashes) round-trips too.  The
+server never has to trust client-side keys: it recomputes ``job_key``
+from the reconstructed job, under its *own* code fingerprint.
+
+Config validation happens in the dataclass ``__post_init__`` hooks;
+anything they raise surfaces as :class:`ProtocolError`, which the HTTP
+layer maps to a 400.
+"""
+
+from __future__ import annotations
+
+from dataclasses import fields, is_dataclass
+
+from ..config import (
+    CacheConfig,
+    FaultConfig,
+    MemoryConfig,
+    QueueConfig,
+    ScalarConfig,
+    SMAConfig,
+    SpeculationConfig,
+)
+from ..harness.jobs import Job
+from ..memory.prefetch import PrefetchConfig
+
+
+class ProtocolError(ValueError):
+    """A job spec that cannot be decoded into a valid :class:`Job`."""
+
+
+#: dataclass-typed fields: (owner class, field name) -> field class.
+#: Everything else round-trips as a JSON scalar / tuple.
+_NESTED: dict[tuple[type, str], type] = {
+    (Job, "sma_config"): SMAConfig,
+    (Job, "scalar_config"): ScalarConfig,
+    (Job, "memory_config"): MemoryConfig,
+    (SMAConfig, "memory"): MemoryConfig,
+    (SMAConfig, "queues"): QueueConfig,
+    (SMAConfig, "faults"): FaultConfig,
+    (SMAConfig, "speculation"): SpeculationConfig,
+    (ScalarConfig, "memory"): MemoryConfig,
+    (ScalarConfig, "cache"): CacheConfig,
+    (ScalarConfig, "prefetch"): PrefetchConfig,
+}
+
+
+def _encode(value):
+    if is_dataclass(value) and not isinstance(value, type):
+        return {
+            f.name: _encode(getattr(value, f.name))
+            for f in fields(value)
+            if getattr(value, f.name) is not None
+        }
+    if isinstance(value, tuple):
+        return [_encode(v) for v in value]
+    return value
+
+
+def job_to_spec(job: Job) -> dict:
+    """JSON-clean spec for one job (``None`` fields omitted)."""
+    return _encode(job)
+
+
+def _decode(cls: type, data: dict):
+    if not isinstance(data, dict):
+        raise ProtocolError(
+            f"expected an object for {cls.__name__}, got "
+            f"{type(data).__name__}"
+        )
+    known = {f.name for f in fields(cls)}
+    unknown = set(data) - known
+    if unknown:
+        raise ProtocolError(
+            f"unknown {cls.__name__} field(s): {sorted(unknown)}"
+        )
+    kwargs = {}
+    for name, value in data.items():
+        nested = _NESTED.get((cls, name))
+        if nested is not None and value is not None:
+            value = _decode(nested, value)
+        elif isinstance(value, list):
+            value = tuple(value)
+        kwargs[name] = value
+    try:
+        return cls(**kwargs)
+    except (TypeError, ValueError) as exc:
+        raise ProtocolError(
+            f"invalid {cls.__name__} spec: {exc}"
+        ) from None
+
+
+def job_from_spec(spec: dict) -> Job:
+    """Rebuild a :class:`Job` from its spec; :class:`ProtocolError` on
+    anything malformed."""
+    return _decode(Job, spec)
+
+
+def jobs_from_payload(payload) -> list[Job]:
+    """Decode the body of a ``POST /v1/jobs`` request."""
+    if not isinstance(payload, dict) or "jobs" not in payload:
+        raise ProtocolError('expected a JSON object with a "jobs" list')
+    specs = payload["jobs"]
+    if not isinstance(specs, list) or not specs:
+        raise ProtocolError('"jobs" must be a non-empty list of specs')
+    return [job_from_spec(spec) for spec in specs]

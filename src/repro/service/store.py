@@ -1,0 +1,238 @@
+"""Content-addressed result store with ``job_key -> digest`` indirection.
+
+The PR 5 harness cache is *job*-keyed: one JSON file per
+``(code fingerprint, job)`` pair.  Sweep traffic at service scale is
+mostly duplicate *results* — a saturated queue sweep produces hundreds
+of byte-identical dicts under distinct job keys — so the store splits
+the two namespaces::
+
+    root/
+      blobs/<sha256 of canonical result JSON>.json   # one per distinct result
+      index/<job_key>.json                           # {"digest": "<sha256>"}
+
+``put`` canonicalizes the result (sorted keys, no whitespace), hashes
+the bytes, writes the blob only if that digest is new, and points the
+job key at it — identical results across sweeps dedup to one blob.
+Both writes are atomic (temp file + ``os.replace``), matching the
+harness cache's crash-safety contract.
+
+``get`` verifies the blob's digest against its filename on every read;
+a torn or corrupted file (index or blob) is quarantined to
+``<name>.corrupt`` — the same convention as
+:func:`repro.harness.parallel._load_cache_entry` — and treated as a
+miss, so one flipped bit costs a re-execution, never a wrong result.
+
+:meth:`ContentStore.promote` imports an existing fingerprint-keyed
+harness cache directory in place, which is how a ``repro sweep`` cache
+becomes the seed of a service store.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import logging
+import os
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+
+_LOG = logging.getLogger("repro.service.store")
+
+
+def result_digest(result: dict) -> str:
+    """sha256 over the canonical JSON encoding of one result dict."""
+    return hashlib.sha256(_canonical_bytes(result)).hexdigest()
+
+
+def _canonical_bytes(result: dict) -> bytes:
+    return json.dumps(
+        result, sort_keys=True, separators=(",", ":")
+    ).encode()
+
+
+@dataclass
+class StoreStats:
+    """What the store did, surfaced through ``/v1/stats``."""
+
+    puts: int = 0          #: results stored (index writes)
+    dedup_hits: int = 0    #: puts whose blob already existed
+    gets: int = 0          #: successful reads
+    quarantined: int = 0   #: corrupt index/blob files moved aside
+    promoted: int = 0      #: harness-cache entries imported
+
+    def to_dict(self) -> dict:
+        return dict(self.__dict__)
+
+
+@dataclass
+class ContentStore:
+    """Content-addressed result store rooted at ``root``."""
+
+    root: Path
+    stats: StoreStats = field(default_factory=StoreStats)
+
+    def __post_init__(self) -> None:
+        self.root = Path(self.root)
+        self._blobs = self.root / "blobs"
+        self._index = self.root / "index"
+        self._blobs.mkdir(parents=True, exist_ok=True)
+        self._index.mkdir(parents=True, exist_ok=True)
+
+    # -- paths ------------------------------------------------------------
+
+    def _blob_path(self, digest: str) -> Path:
+        return self._blobs / f"{digest}.json"
+
+    def _index_path(self, key: str) -> Path:
+        return self._index / f"{key}.json"
+
+    # -- atomic write helper ----------------------------------------------
+
+    def _write_atomic(self, path: Path, text: str) -> None:
+        fd, tmp = tempfile.mkstemp(
+            dir=path.parent, prefix=path.stem[:16] + "-", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(text)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def _quarantine(self, path: Path, why: str) -> None:
+        quarantine = path.with_name(path.name + ".corrupt")
+        try:
+            os.replace(path, quarantine)
+        except OSError:  # pragma: no cover - racing cleanup
+            return
+        self.stats.quarantined += 1
+        _LOG.warning(
+            "quarantined %s store entry %s -> %s",
+            why, path.name, quarantine.name,
+        )
+
+    # -- core API ----------------------------------------------------------
+
+    def put(self, key: str, result: dict) -> str:
+        """Store ``result`` under job ``key``; returns its digest.
+
+        The blob write is skipped when an identical result is already
+        stored (counted in :attr:`StoreStats.dedup_hits`).
+        """
+        payload = _canonical_bytes(result)
+        digest = hashlib.sha256(payload).hexdigest()
+        blob = self._blob_path(digest)
+        if blob.exists():
+            self.stats.dedup_hits += 1
+        else:
+            self._write_atomic(blob, payload.decode())
+        self._write_atomic(
+            self._index_path(key),
+            json.dumps({"digest": digest}),
+        )
+        self.stats.puts += 1
+        return digest
+
+    def digest_for(self, key: str) -> str | None:
+        """The stored digest for a job key, or ``None`` (corrupt index
+        entries are quarantined and read as a miss)."""
+        path = self._index_path(key)
+        try:
+            text = path.read_text()
+        except OSError:
+            return None
+        try:
+            entry = json.loads(text)
+            digest = entry["digest"]
+        except (json.JSONDecodeError, TypeError, KeyError):
+            self._quarantine(path, "undecodable index")
+            return None
+        if not isinstance(digest, str):
+            self._quarantine(path, "malformed index")
+            return None
+        return digest
+
+    def get_blob(self, digest: str) -> dict | None:
+        """One stored result by digest, integrity-checked against its
+        filename; corrupt blobs are quarantined and read as a miss."""
+        path = self._blob_path(digest)
+        try:
+            data = path.read_bytes()
+        except OSError:
+            return None
+        if hashlib.sha256(data).hexdigest() != digest:
+            self._quarantine(path, "digest-mismatched blob")
+            return None
+        try:
+            return json.loads(data)
+        except json.JSONDecodeError:  # pragma: no cover - digest caught it
+            self._quarantine(path, "undecodable blob")
+            return None
+
+    def get(self, key: str) -> dict | None:
+        """The result for a job key, or ``None`` on any miss/corruption."""
+        digest = self.digest_for(key)
+        if digest is None:
+            return None
+        result = self.get_blob(digest)
+        if result is None:
+            # the index points at a missing/corrupt blob: drop the
+            # dangling pointer so the job re-executes cleanly
+            self._quarantine(self._index_path(key), "dangling index")
+            return None
+        self.stats.gets += 1
+        return result
+
+    def __contains__(self, key: str) -> bool:
+        return self.digest_for(key) is not None
+
+    # -- inventory ---------------------------------------------------------
+
+    def result_count(self) -> int:
+        """Number of indexed job keys."""
+        return sum(1 for _ in self._index.glob("*.json"))
+
+    def blob_count(self) -> int:
+        """Number of distinct stored results (< result_count when
+        dedup ever fired)."""
+        return sum(1 for _ in self._blobs.glob("*.json"))
+
+    # -- harness-cache interop ----------------------------------------------
+
+    def promote(self, cache_dir: str | Path) -> int:
+        """Import a fingerprint-keyed harness cache directory (the
+        ``run_jobs(cache_dir=...)`` layout: one ``<job_key>.json`` per
+        result).  Undecodable entries are skipped (the harness
+        quarantines them on its own probes).  Returns the number of
+        entries imported."""
+        imported = 0
+        for path in sorted(Path(cache_dir).glob("*.json")):
+            try:
+                result = json.loads(path.read_text())
+            except (OSError, json.JSONDecodeError):
+                continue
+            self.put(path.stem, result)
+            imported += 1
+        self.stats.promoted += imported
+        return imported
+
+    def export(self, cache_dir: str | Path) -> int:
+        """Write every indexed result out as a plain harness cache
+        entry (the inverse of :meth:`promote`); returns the count."""
+        cache = Path(cache_dir)
+        cache.mkdir(parents=True, exist_ok=True)
+        exported = 0
+        for path in sorted(self._index.glob("*.json")):
+            result = self.get(path.stem)
+            if result is None:
+                continue
+            self._write_atomic(
+                cache / f"{path.stem}.json", json.dumps(result)
+            )
+            exported += 1
+        return exported

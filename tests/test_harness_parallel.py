@@ -189,6 +189,132 @@ class TestHarnessRegressions:
         # and the backoff itself was honored before the final attempt
         assert elapsed >= backoff
 
+    def test_occupancy_job_honors_lod_variant(self):
+        # _run_occupancy used to lower the plain program regardless of
+        # job.lod_variant, so an occupancy job with lod_variant="addr"
+        # silently simulated the wrong machine while its cache key
+        # (which includes the field via repr(job)) claimed otherwise
+        plain = run_job(
+            Job("sma-occupancy", "pic_gather", 32, sma_config=SMA_CFG,
+                buckets=8)
+        )
+        addr = run_job(
+            Job("sma-occupancy", "pic_gather", 32, sma_config=SMA_CFG,
+                buckets=8, lod_variant="addr")
+        )
+        assert plain != addr, (
+            "occupancy trace identical across lod variants — the "
+            "variant was dropped on the way to lower_sma"
+        )
+        # the LOD-heavy lowering round-trips every gather index through
+        # the EP, so it must be strictly slower
+        assert addr["cycles"] > plain["cycles"]
+        branch = run_job(
+            Job("sma-occupancy", "tridiag", 32, sma_config=SMA_CFG,
+                buckets=8, lod_variant="branch")
+        )
+        plain_tridiag = run_job(
+            Job("sma-occupancy", "tridiag", 32, sma_config=SMA_CFG,
+                buckets=8)
+        )
+        assert branch != plain_tridiag
+
+    def test_pool_flushes_completed_mates_of_terminal_failure(
+        self, tmp_path, monkeypatch
+    ):
+        # two jobs complete in the same wait round: one success, one
+        # terminal failure.  The failure used to raise out of the
+        # completed-future loop before the success was recorded, so a
+        # --resume rerun re-executed finished work.  A fake pool pins
+        # the ordering: wait() hands back [failure, success], the worst
+        # case for the old single-pass loop.
+        import concurrent.futures as cf
+
+        from repro.errors import KernelError
+        from repro.harness import harness_policy
+
+        class FakePool:
+            def __init__(self, max_workers=None, initializer=None,
+                         initargs=()):
+                if initializer is not None:
+                    initializer(*initargs)
+
+            def submit(self, fn, job):
+                future = cf.Future()
+                try:
+                    future.set_result(fn(job))
+                except BaseException as exc:
+                    future.set_exception(exc)
+                return future
+
+            def shutdown(self, wait=True, cancel_futures=False):
+                pass
+
+        def fake_wait(futures, timeout=None, return_when=None):
+            # every inflight future is already done; order the failing
+            # one first so charge() raises before the success is seen
+            ordered = sorted(
+                futures, key=lambda f: f.exception() is None
+            )
+            return ordered, set()
+
+        monkeypatch.setattr(cf, "ProcessPoolExecutor", FakePool)
+        monkeypatch.setattr(cf, "wait", fake_wait)
+
+        good = Job("scalar", "daxpy", 16, scalar_config=SCALAR_CFG)
+        bad = Job("sma", "no-such-kernel", 16)
+        with harness_policy() as stats:
+            with pytest.raises(KernelError):
+                run_jobs([bad, good], workers=2, cache_dir=tmp_path,
+                         retries=0)
+        assert stats.executed == 1
+        assert stats.flushed == 1
+        flushed = list(tmp_path.glob("*.json"))
+        assert len(flushed) == 1, (
+            "the completed pool-mate of a terminal failure was dropped "
+            "without being flushed"
+        )
+        assert flushed[0].name == job_key(good) + ".json"
+        # and a resume run serves the good job from the cache
+        with harness_policy() as stats:
+            assert run_jobs([good], cache_dir=tmp_path)[0] == json.loads(
+                flushed[0].read_text()
+            )
+        assert stats.executed == 0 and stats.hits == 1
+
+    def test_batch_shard_failure_goes_through_charging_path(
+        self, monkeypatch
+    ):
+        # a BrokenProcessPool out of a sharded batch worker used to
+        # propagate without a retry charge or a stats.record_failure
+        # entry; now it is charged and the sweep falls back to the
+        # scalar path with the policy intact
+        from concurrent.futures.process import BrokenProcessPool
+
+        from repro import batch as batch_mod
+        from repro.harness import harness_policy
+
+        def exploding_run_batch(jobs, workers=1, on_result=None):
+            raise BrokenProcessPool("batch shard worker died")
+
+        monkeypatch.setattr(batch_mod, "run_batch", exploding_run_batch)
+        jobs = [
+            Job("sma", "daxpy", 16, sma_config=SMA_CFG),
+            Job("scalar", "daxpy", 16, scalar_config=SCALAR_CFG),
+        ]
+        with harness_policy() as stats:
+            results = run_jobs(jobs, backend="batch", retries=1,
+                               backoff=0.0)
+        assert results[0]["cycles"] > 0 and results[1]["cycles"] > 0
+        assert stats.failures.get("BrokenProcessPool") == 1
+        assert stats.retried == 1
+        # fail-fast behavior is preserved when the budget is zero
+        with harness_policy() as stats:
+            with pytest.raises(BrokenProcessPool):
+                run_jobs(jobs, backend="batch", retries=0)
+        assert stats.failures.get("BrokenProcessPool") == 1
+        assert stats.retried == 0
+
 
 class TestSerialFailureHandling:
     def test_raising_kernel_records_exception_type(self):
